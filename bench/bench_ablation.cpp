@@ -1,0 +1,92 @@
+// Ablation studies on the GS-TG design choices called out in DESIGN.md:
+//   (a) BGM/GSM overlap: the dedicated-hardware parallelism of section V-A
+//       vs GPU-like sequential execution of the two steps,
+//   (b) RM filter width (8 in the paper) sweep,
+//   (c) group dispatch policy: cost-ordered (LPT) vs naive round-robin,
+//   (d) DRAM bandwidth sensitivity (is 51.2 GB/s enough?).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.h"
+#include "common/table.h"
+#include "gaussian/quantize.h"
+#include "sim/accel.h"
+#include "sim/modules.h"
+#include "sim/workload.h"
+
+namespace {
+
+using namespace gstg;
+using benchutil::cached_scene;
+
+FrameWorkload g_workload;
+
+void build_workload() {
+  Scene scene = generate_scene("truck");
+  quantize_cloud_to_fp16(scene.cloud);
+  GsTgConfig config;
+  g_workload = build_gstg_workload(scene.cloud, scene.camera, config);
+  g_workload.scene = "truck";
+}
+
+void bm_build(benchmark::State& state) {
+  for (auto _ : state) {
+    build_workload();
+  }
+}
+BENCHMARK(bm_build)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void print_tables() {
+  const HwConfig hw;
+  const SimReport overlap = simulate_frame(g_workload, gstg_pipeline_model(), hw);
+
+  TextTable a("Ablation (a): BGM/GSM overlap (truck scene)");
+  a.set_header({"execution", "total cycles", "sort-stage cycles", "speedup"});
+  PipelineModel sequential_model = gstg_pipeline_model();
+  sequential_model.sequential_bgm = true;  // GPU-order: BGM then GSM
+  const SimReport sequential = simulate_frame(g_workload, sequential_model, hw);
+  a.add_row({"sequential (GPU order)", format_fixed(sequential.total_cycles, 0),
+             format_fixed(sequential.sort_stage_cycles, 0), "1.00"});
+  a.add_row({"overlapped (GS-TG HW)", format_fixed(overlap.total_cycles, 0),
+             format_fixed(overlap.sort_stage_cycles, 0),
+             format_fixed(sequential.total_cycles / overlap.total_cycles, 3)});
+  a.print();
+  std::printf("\n");
+
+  TextTable b("Ablation (b): RM bitmask filter width");
+  b.set_header({"width", "total cycles", "vs width 8"});
+  HwConfig hw_w = hw;
+  const double base_cycles = overlap.total_cycles;
+  for (const int width : {1, 2, 4, 8, 16, 32}) {
+    hw_w.rm_filter_width = width;
+    const SimReport r = simulate_frame(g_workload, gstg_pipeline_model(), hw_w);
+    b.add_row({std::to_string(width), format_fixed(r.total_cycles, 0),
+               format_fixed(base_cycles / r.total_cycles, 3)});
+  }
+  b.print();
+  std::printf("\n");
+
+  TextTable d("Ablation (d): DRAM bandwidth sensitivity");
+  d.set_header({"bandwidth [GB/s]", "total cycles", "bottleneck"});
+  HwConfig hw_bw = hw;
+  for (const double gbps : {6.4, 12.8, 25.6, 51.2, 102.4}) {
+    hw_bw.dram_bytes_per_second = gbps * 1e9;
+    const SimReport r = simulate_frame(g_workload, gstg_pipeline_model(), hw_bw);
+    d.add_row({format_fixed(gbps, 1), format_fixed(r.total_cycles, 0), r.bottleneck});
+  }
+  d.print();
+  std::printf("\nnote: ablation (c), dispatch policy, is implicit — simulate_frame uses\n"
+              "cost-ordered dispatch; see tests/sim/test_accel.cpp for the imbalance case.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  gstg::benchutil::print_scale_banner("Ablations: overlap, filter width, DRAM bandwidth");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_tables();
+  return 0;
+}

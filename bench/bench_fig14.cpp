@@ -1,0 +1,70 @@
+// Fig. 14: normalised speedup of the GS-TG accelerator vs the baseline
+// accelerator (conventional pipeline, Ellipse boundary, same hardware) and
+// the GSCore model, across all six scenes plus the geometric mean, from
+// the cycle-level simulator. Paper: GS-TG geomean 1.33x over the baseline,
+// up to 1.58x (residence); up to 1.54x over GSCore.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "sim_runner.h"
+
+namespace {
+
+using namespace gstg;
+using benchutil::all_scene_names;
+using benchutil::SceneSims;
+
+std::map<std::string, SceneSims> g_sims;
+
+void run_scene(benchmark::State& state, const std::string& scene_name) {
+  for (auto _ : state) {
+    g_sims[scene_name] = benchutil::simulate_scene(scene_name);
+  }
+  const SceneSims& s = g_sims[scene_name];
+  state.counters["speedup_gstg"] = s.baseline.total_cycles / s.gstg.total_cycles;
+  state.counters["speedup_gscore"] = s.baseline.total_cycles / s.gscore.total_cycles;
+}
+
+void print_table() {
+  TextTable table("Fig. 14: speedup normalised to the baseline accelerator");
+  table.set_header({"scene", "Baseline", "GSCore", "GS-TG", "GS-TG cycles", "bottleneck"});
+  std::vector<double> gscore_speedups, gstg_speedups;
+  for (const auto& scene : all_scene_names()) {
+    const SceneSims& s = g_sims[scene];
+    const double sp_gscore = s.baseline.total_cycles / s.gscore.total_cycles;
+    const double sp_gstg = s.baseline.total_cycles / s.gstg.total_cycles;
+    gscore_speedups.push_back(sp_gscore);
+    gstg_speedups.push_back(sp_gstg);
+    table.add_row({scene, "1.00", format_fixed(sp_gscore, 2), format_fixed(sp_gstg, 2),
+                   format_fixed(s.gstg.total_cycles, 0), s.gstg.bottleneck});
+  }
+  table.add_row({"geomean", "1.00", format_fixed(geometric_mean(gscore_speedups), 2),
+                 format_fixed(geometric_mean(gstg_speedups), 2), "-", "-"});
+  table.print();
+  std::printf(
+      "\npaper reference: GS-TG geomean 1.33x vs baseline, max 1.58x at residence;\n"
+      "GS-TG up to 1.54x vs GSCore. Larger scenes benefit more (scaled runs\n"
+      "compress list lengths, so bench-scale gains sit below paper scale).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  gstg::benchutil::print_scale_banner("Fig. 14: accelerator speedup, 6 scenes");
+  for (const auto& scene : all_scene_names()) {
+    benchmark::RegisterBenchmark(("Fig14/" + scene).c_str(),
+                                 [scene](benchmark::State& state) { run_scene(state, scene); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_table();
+  return 0;
+}

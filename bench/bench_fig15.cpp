@@ -1,0 +1,69 @@
+// Fig. 15: normalised energy efficiency (frames per joule) of GS-TG vs the
+// baseline accelerator and GSCore across six scenes plus the geometric
+// mean, using the Table III power model and the DRAM pJ/byte model.
+// Paper: GS-TG geomean 2.12x over the baseline, up to 2.97x (residence).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "sim_runner.h"
+
+namespace {
+
+using namespace gstg;
+using benchutil::all_scene_names;
+using benchutil::SceneSims;
+
+std::map<std::string, SceneSims> g_sims;
+
+void run_scene(benchmark::State& state, const std::string& scene_name) {
+  for (auto _ : state) {
+    g_sims[scene_name] = benchutil::simulate_scene(scene_name);
+  }
+  const SceneSims& s = g_sims[scene_name];
+  state.counters["energy_eff_gstg"] = s.baseline.energy.total_j() / s.gstg.energy.total_j();
+}
+
+void print_table() {
+  TextTable table("Fig. 15: energy efficiency normalised to the baseline accelerator");
+  table.set_header({"scene", "Baseline", "GSCore", "GS-TG", "GS-TG uJ/frame", "DRAM share"});
+  std::vector<double> gscore_eff, gstg_eff;
+  for (const auto& scene : all_scene_names()) {
+    const SceneSims& s = g_sims[scene];
+    const double eff_gscore = s.baseline.energy.total_j() / s.gscore.energy.total_j();
+    const double eff_gstg = s.baseline.energy.total_j() / s.gstg.energy.total_j();
+    gscore_eff.push_back(eff_gscore);
+    gstg_eff.push_back(eff_gstg);
+    table.add_row({scene, "1.00", format_fixed(eff_gscore, 2), format_fixed(eff_gstg, 2),
+                   format_fixed(s.gstg.energy.total_j() * 1e6, 2),
+                   format_fixed(100.0 * s.gstg.energy.dram_j / s.gstg.energy.total_j(), 0) + "%"});
+  }
+  table.add_row({"geomean", "1.00", format_fixed(geometric_mean(gscore_eff), 2),
+                 format_fixed(geometric_mean(gstg_eff), 2), "-", "-"});
+  table.print();
+  std::printf(
+      "\npaper reference: GS-TG geomean 2.12x vs baseline, max 2.97x at residence.\n"
+      "Savings come from shorter runtime plus group-shared feature fetches\n"
+      "cutting DRAM traffic.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  gstg::benchutil::print_scale_banner("Fig. 15: accelerator energy efficiency, 6 scenes");
+  for (const auto& scene : all_scene_names()) {
+    benchmark::RegisterBenchmark(("Fig15/" + scene).c_str(),
+                                 [scene](benchmark::State& state) { run_scene(state, scene); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_table();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fig. 5: average number of intersecting tiles per Gaussian across tile
+// sizes (8/16/32/64), for (a) AABB and (b) Ellipse boundaries, four scenes.
+// The paper's headline ratios: 18.3x (playroom, AABB, 8x8 vs 64x64) and
+// 7.09x (ellipse).
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdio>
+#include <map>
+
+#include "common.h"
+#include "common/table.h"
+#include "render/binning.h"
+#include "render/preprocess.h"
+
+namespace {
+
+using namespace gstg;
+using benchutil::algo_scene_names;
+using benchutil::cached_scene;
+
+constexpr std::array<int, 4> kTileSizes = {8, 16, 32, 64};
+
+// tiles-per-gaussian per (boundary, scene, tile).
+std::map<std::string, std::map<std::string, std::map<int, double>>> g_tpg;
+
+void run_case(benchmark::State& state, const std::string& scene_name, int tile,
+              Boundary boundary) {
+  const Scene& scene = cached_scene(scene_name);
+  RenderConfig config;
+  config.tile_size = tile;
+  config.boundary = boundary;
+  double tpg = 0.0;
+  for (auto _ : state) {
+    RenderCounters counters;
+    const auto splats = preprocess(scene.cloud, scene.camera, config, counters);
+    const CellGrid grid =
+        CellGrid::over_image(scene.camera.width(), scene.camera.height(), tile);
+    benchmark::DoNotOptimize(bin_splats(splats, grid, boundary, 0, counters));
+    tpg = counters.tiles_per_gaussian();
+  }
+  g_tpg[to_string(boundary)][scene_name][tile] = tpg;
+  state.counters["tiles_per_gaussian"] = tpg;
+}
+
+void print_tables() {
+  for (const char* boundary : {"AABB", "Ellipse"}) {
+    TextTable table(std::string("Fig. 5 (") + boundary +
+                    "): avg intersecting tiles per Gaussian");
+    table.set_header({"scene", "8x8", "16x16", "32x32", "64x64", "8x8/64x64"});
+    for (const auto& scene : algo_scene_names()) {
+      std::vector<double> row;
+      for (const int tile : kTileSizes) row.push_back(g_tpg[boundary][scene][tile]);
+      row.push_back(row.front() / row.back());
+      table.add_row(scene, row, 2);
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf("paper reference: max ratio 18.3x (AABB, playroom), 7.09x (Ellipse);\n"
+              "tiles/Gaussian grows steeply as tiles shrink in both plots.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  gstg::benchutil::print_scale_banner("Fig. 5: tiles per Gaussian vs tile size");
+  for (const Boundary b : {Boundary::kAabb, Boundary::kEllipse}) {
+    for (const auto& scene : algo_scene_names()) {
+      for (const int tile : kTileSizes) {
+        benchmark::RegisterBenchmark(
+            ("Fig5/" + std::string(to_string(b)) + "/" + scene + "/tile:" + std::to_string(tile))
+                .c_str(),
+            [scene, tile, b](benchmark::State& state) { run_case(state, scene, tile, b); })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_tables();
+  return 0;
+}

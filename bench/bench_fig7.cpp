@@ -1,0 +1,98 @@
+// Fig. 7: average number of Gaussians that must be processed per pixel vs
+// tile size, (a) AABB and (b) Ellipse, four scenes. The per-pixel workload
+// is the tile list length seen by each pixel (computable from the binning
+// alone): larger tiles -> coarser association -> more per-pixel work. Paper
+// headline ratios: 4.79x (AABB) and 10.6x (truck, Ellipse, 64x64 vs 8x8).
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdio>
+#include <map>
+
+#include "common.h"
+#include "common/table.h"
+#include "render/binning.h"
+#include "render/preprocess.h"
+
+namespace {
+
+using namespace gstg;
+using benchutil::algo_scene_names;
+using benchutil::cached_scene;
+
+constexpr std::array<int, 4> kTileSizes = {8, 16, 32, 64};
+
+std::map<std::string, std::map<std::string, std::map<int, double>>> g_gpp;
+
+/// Average per-pixel list length: sum over cells of len(cell) * pixels(cell)
+/// divided by the image pixel count.
+double gaussians_per_pixel(const BinnedSplats& bins) {
+  const CellGrid& g = bins.grid;
+  double work = 0.0;
+  for (int c = 0; c < g.cell_count(); ++c) {
+    const int cx = c % g.cells_x, cy = c / g.cells_x;
+    const int w = std::min(g.cell_size, g.image_width - cx * g.cell_size);
+    const int h = std::min(g.cell_size, g.image_height - cy * g.cell_size);
+    work += static_cast<double>(bins.cell_size_of(c)) * w * h;
+  }
+  return work / (static_cast<double>(g.image_width) * g.image_height);
+}
+
+void run_case(benchmark::State& state, const std::string& scene_name, int tile,
+              Boundary boundary) {
+  const Scene& scene = cached_scene(scene_name);
+  RenderConfig config;
+  config.tile_size = tile;
+  config.boundary = boundary;
+  double gpp = 0.0;
+  for (auto _ : state) {
+    RenderCounters counters;
+    const auto splats = preprocess(scene.cloud, scene.camera, config, counters);
+    const CellGrid grid =
+        CellGrid::over_image(scene.camera.width(), scene.camera.height(), tile);
+    const BinnedSplats bins = bin_splats(splats, grid, boundary, 0, counters);
+    gpp = gaussians_per_pixel(bins);
+  }
+  g_gpp[to_string(boundary)][scene_name][tile] = gpp;
+  state.counters["gaussians_per_pixel"] = gpp;
+}
+
+void print_tables() {
+  for (const char* boundary : {"AABB", "Ellipse"}) {
+    TextTable table(std::string("Fig. 7 (") + boundary + "): avg Gaussians per pixel");
+    table.set_header({"scene", "8x8", "16x16", "32x32", "64x64", "64x64/8x8"});
+    for (const auto& scene : algo_scene_names()) {
+      std::vector<double> row;
+      for (const int tile : kTileSizes) row.push_back(g_gpp[boundary][scene][tile]);
+      row.push_back(row.back() / row.front());
+      table.add_row(scene, row, 1);
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf("paper reference: per-pixel workload in the 10^3 range at large tiles;\n"
+              "max ratio 4.79x (AABB) and 10.6x (truck, Ellipse).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  gstg::benchutil::print_scale_banner("Fig. 7: Gaussians per pixel vs tile size");
+  for (const Boundary b : {Boundary::kAabb, Boundary::kEllipse}) {
+    for (const auto& scene : algo_scene_names()) {
+      for (const int tile : kTileSizes) {
+        benchmark::RegisterBenchmark(
+            ("Fig7/" + std::string(to_string(b)) + "/" + scene + "/tile:" + std::to_string(tile))
+                .c_str(),
+            [scene, tile, b](benchmark::State& state) { run_case(state, scene, tile, b); })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_tables();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Table I: percentage of Gaussians shared with adjacent tiles vs tile size
+// (8/16/32/64), four scenes, AABB binning — plus the Table II scene
+// metadata as a header. Reproduces the redundant-sorting motivation.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdio>
+#include <map>
+
+#include "common.h"
+#include "common/table.h"
+#include "render/binning.h"
+#include "render/preprocess.h"
+
+namespace {
+
+using namespace gstg;
+using benchutil::algo_scene_names;
+using benchutil::cached_scene;
+
+constexpr std::array<int, 4> kTileSizes = {8, 16, 32, 64};
+
+// shared% per (scene, tile), filled by the registered benchmarks.
+std::map<std::string, std::map<int, double>> g_shared;
+
+void run_case(benchmark::State& state, const std::string& scene_name, int tile) {
+  const Scene& scene = cached_scene(scene_name);
+  RenderConfig config;
+  config.tile_size = tile;
+  config.boundary = Boundary::kAabb;
+  double shared = 0.0;
+  for (auto _ : state) {
+    RenderCounters counters;
+    const auto splats = preprocess(scene.cloud, scene.camera, config, counters);
+    const CellGrid grid =
+        CellGrid::over_image(scene.camera.width(), scene.camera.height(), tile);
+    benchmark::DoNotOptimize(bin_splats(splats, grid, config.boundary, 0, counters));
+    shared = counters.shared_gaussian_percent();
+  }
+  g_shared[scene_name][tile] = shared;
+  state.counters["shared_pct"] = shared;
+}
+
+void print_table() {
+  TextTable scenes_table("Table II: datasets (paper resolution; bench runs scaled per banner)");
+  scenes_table.set_header({"dataset", "scene", "resolution", "type"});
+  for (const auto& info : all_scenes()) {
+    scenes_table.add_row({info.dataset, info.name,
+                          std::to_string(info.paper_width) + "x" + std::to_string(info.paper_height),
+                          info.kind == SceneKind::kIndoorRoom ? "Indoor" : "Outdoor"});
+  }
+  scenes_table.print();
+  std::printf("\n");
+
+  TextTable table("Table I: % of Gaussians shared with adjacent tiles (AABB)");
+  table.set_header({"scene", "8x8", "16x16", "32x32", "64x64"});
+  std::array<double, 4> sums{};
+  for (const auto& scene : algo_scene_names()) {
+    std::vector<double> row;
+    for (std::size_t i = 0; i < kTileSizes.size(); ++i) {
+      const double v = g_shared[scene][kTileSizes[i]];
+      row.push_back(v);
+      sums[i] += v;
+    }
+    table.add_row(scene, row, 1);
+  }
+  std::vector<double> avg;
+  for (const double s : sums) avg.push_back(s / static_cast<double>(algo_scene_names().size()));
+  table.add_row("Average", avg, 1);
+  table.print();
+  std::printf("\npaper reference (Table I):\n"
+              "  Train 94.4/89.0/79.7/66.0  Truck 89.0/79.2/64.7/47.7\n"
+              "  Drjohnson 91.4/83.9/71.3/54.0  Playroom 91.3/83.8/71.7/54.7\n"
+              "  Average 91.5/84.0/71.9/55.6\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  gstg::benchutil::print_scale_banner("Table I/II: Gaussian sharing across tile sizes");
+  for (const auto& scene : algo_scene_names()) {
+    for (const int tile : kTileSizes) {
+      benchmark::RegisterBenchmark(
+          ("Table1/" + scene + "/tile:" + std::to_string(tile)).c_str(),
+          [scene, tile](benchmark::State& state) { run_case(state, scene, tile); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_table();
+  return 0;
+}

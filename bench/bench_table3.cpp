@@ -1,0 +1,85 @@
+// Table III: the GS-TG hardware configuration (module areas and powers at
+// 28nm / 1 GHz) as encoded in the simulator's energy model, with
+// consistency checks, plus a micro-benchmark of the simulator itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.h"
+#include "common/table.h"
+#include "sim/accel.h"
+#include "sim/workload.h"
+
+namespace {
+
+using namespace gstg;
+
+FrameWorkload reference_workload() {
+  FrameWorkload w;
+  w.scene = "reference";
+  w.input_gaussians = 100000;
+  w.visible_gaussians = 80000;
+  w.ident_tests = 400000;
+  w.sorts.resize(512);
+  w.bgm.resize(512);
+  w.tiles.resize(8192);
+  for (std::size_t g = 0; g < w.sorts.size(); ++g) {
+    w.sorts[g].n = 500;
+    w.bgm[g] = {500, 3000};
+  }
+  for (std::size_t t = 0; t < w.tiles.size(); ++t) {
+    w.tiles[t] = {500, 120, 25000, 256, static_cast<std::uint32_t>(t % w.sorts.size())};
+  }
+  w.total_pixels = 8192 * 256;
+  w.param_bytes = 10'000'000;
+  w.feature_bytes = 5'000'000;
+  w.list_bytes = 2'000'000;
+  w.framebuffer_bytes = 6'300'000;
+  return w;
+}
+
+void bm_simulate(benchmark::State& state) {
+  const FrameWorkload w = reference_workload();
+  const HwConfig hw;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_frame(w, gstg_pipeline_model(), hw));
+  }
+}
+BENCHMARK(bm_simulate)->Unit(benchmark::kMicrosecond);
+
+void print_table() {
+  const HwConfig hw;
+  TextTable table("Table III: hardware configuration (28nm, as modelled)");
+  table.set_header({"module", "instances", "area [mm2]", "power [W]"});
+  const auto row = [&](const char* name, const ModuleSpec& m) {
+    table.add_row({name, std::to_string(m.instances), format_fixed(m.area_mm2, 3),
+                   format_fixed(m.power_w, 3)});
+  };
+  row("PM", hw.pm);
+  row("BGM", hw.bgm);
+  row("GSM", hw.gsm);
+  row("RM", hw.rm);
+  row("Buffer (4x2x42KB)", hw.buffer);
+  table.add_row({"Total", "-", format_fixed(hw.total_area_mm2(), 3),
+                 format_fixed(hw.total_power_w(), 3)});
+  table.print();
+
+  std::printf("\noperating frequency: %.0f MHz\n", hw.frequency_hz / 1e6);
+  std::printf("DRAM bandwidth: %.1f GB/s (%.1f B/cycle), %.0f pJ/byte\n",
+              hw.dram_bytes_per_second / 1e9, hw.dram_bytes_per_cycle(), hw.dram_pj_per_byte);
+  std::printf("datapath precision: fp16 (%zu bytes/scalar)\n", hw.bytes_per_scalar);
+  std::printf("\nconsistency: total area %s 3.984 mm2, total power %s 1.063 W (paper Table III)\n",
+              std::abs(hw.total_area_mm2() - 3.984) < 1e-9 ? "==" : "!=",
+              std::abs(hw.total_power_w() - 1.063) < 1e-9 ? "==" : "!=");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  gstg::benchutil::print_scale_banner("Table III: hardware configuration");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_table();
+  return 0;
+}

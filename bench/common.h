@@ -1,0 +1,45 @@
+// Shared infrastructure for the benchmark binaries: per-process scene cache
+// (scenes are deterministic, so generating once per binary is sound) and
+// small helpers for the paper-shaped output tables.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/runconfig.h"
+#include "scene/scene.h"
+
+namespace gstg::benchutil {
+
+/// Scenes used by the algorithm-evaluation figures (paper section VI-B).
+inline const std::vector<std::string>& algo_scene_names() {
+  static const std::vector<std::string> names = {"train", "truck", "drjohnson", "playroom"};
+  return names;
+}
+
+/// All six scenes (hardware evaluation, Figs. 14/15).
+inline const std::vector<std::string>& all_scene_names() {
+  static const std::vector<std::string> names = {"train",    "truck",  "drjohnson",
+                                                 "playroom", "rubble", "residence"};
+  return names;
+}
+
+/// Generates each scene at most once per process at the env-selected scale.
+inline const Scene& cached_scene(const std::string& name) {
+  static std::map<std::string, Scene> cache;
+  const auto it = cache.find(name);
+  if (it != cache.end()) return it->second;
+  return cache.emplace(name, generate_scene(name)).first->second;
+}
+
+/// Banner describing the workload scale, printed by every bench binary so
+/// recorded outputs are self-describing.
+inline void print_scale_banner(const char* what) {
+  const RunScale scale = run_scale_from_env();
+  std::printf("# %s | scale: resolution /%d, Gaussians /%d%s (set GSTG_SCALE=full for paper scale)\n",
+              what, scale.resolution_divisor, scale.gaussian_divisor,
+              scale.is_full() ? " [paper scale]" : "");
+}
+
+}  // namespace gstg::benchutil

@@ -1,0 +1,55 @@
+// Runs the cycle-level accelerator simulator on one scene for the three
+// designs the paper compares (baseline accelerator, GSCore, GS-TG) and
+// prints the full report: per-stage cycles, bottleneck, FPS and energy.
+//
+// Run:  ./accel_sim [--scene=rubble]
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "scene/scene.h"
+#include "sim/accel.h"
+#include "sim/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace gstg;
+  try {
+    const CliArgs args(argc, argv);
+    args.require_known({"scene"});
+    const Scene scene = generate_scene(args.get("scene", "train"), RunScale{8, 64});
+    std::printf("scene '%s': %zu Gaussians at %dx%d\n\n", scene.info.name.c_str(),
+                scene.cloud.size(), scene.render_width, scene.render_height);
+
+    const HwConfig hw;
+
+    GsTgConfig gstg_config;  // 16+64, Ellipse+Ellipse
+    FrameWorkload wg = build_gstg_workload(scene.cloud, scene.camera, gstg_config);
+    RenderConfig baseline_config;
+    baseline_config.tile_size = 16;
+    baseline_config.boundary = Boundary::kEllipse;
+    FrameWorkload wb =
+        build_tile_sorted_workload(scene.cloud, scene.camera, baseline_config, "Baseline");
+    FrameWorkload wc = build_gscore_workload(scene.cloud, scene.camera, 16);
+    wg.scene = wb.scene = wc.scene = scene.info.name;
+
+    const SimReport rb = simulate_frame(wb, baseline_pipeline_model(), hw);
+    const SimReport rc = simulate_frame(wc, gscore_pipeline_model(), hw);
+    const SimReport rg = simulate_frame(wg, gstg_pipeline_model(), hw);
+
+    for (const SimReport& r : {rb, rc, rg}) {
+      std::printf("%s\n\n", to_string(r).c_str());
+    }
+
+    TextTable table("normalised to the baseline accelerator");
+    table.set_header({"design", "speedup", "energy eff.", "bottleneck"});
+    for (const SimReport& r : {rb, rc, rg}) {
+      table.add_row({r.design, format_fixed(rb.total_cycles / r.total_cycles, 2),
+                     format_fixed(rb.energy.total_j() / r.energy.total_j(), 2), r.bottleneck});
+    }
+    table.print();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

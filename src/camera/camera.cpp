@@ -1,0 +1,60 @@
+#include "camera/camera.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gstg {
+
+Camera Camera::from_fov(int width, int height, float fov_x_radians, const Mat4& world_to_camera) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("Camera: non-positive image size");
+  }
+  if (!(fov_x_radians > 0.0f) || fov_x_radians >= 3.14159f) {
+    throw std::invalid_argument("Camera: field of view out of range");
+  }
+  const float fx = 0.5f * static_cast<float>(width) / std::tan(0.5f * fov_x_radians);
+  // Square pixels: fy = fx.
+  return Camera(width, height, fx, fx, 0.5f * static_cast<float>(width),
+                0.5f * static_cast<float>(height), world_to_camera);
+}
+
+Camera::Camera(int width, int height, float fx, float fy, float cx, float cy,
+               const Mat4& world_to_camera)
+    : width_(width), height_(height), fx_(fx), fy_(fy), cx_(cx), cy_(cy),
+      world_to_camera_(world_to_camera) {
+  if (width <= 0 || height <= 0 || !(fx > 0.0f) || !(fy > 0.0f)) {
+    throw std::invalid_argument("Camera: invalid intrinsics");
+  }
+}
+
+Vec3 Camera::position() const {
+  const Mat4 inv = rigid_inverse(world_to_camera_);
+  return {inv.m[0][3], inv.m[1][3], inv.m[2][3]};
+}
+
+bool Camera::in_frustum(Vec3 view, float near_z, float guard) const {
+  if (view.z < near_z) return false;
+  const float lim_x = guard * tan_half_fov_x() * view.z;
+  const float lim_y = guard * tan_half_fov_y() * view.z;
+  return std::fabs(view.x) <= lim_x && std::fabs(view.y) <= lim_y;
+}
+
+Mat4 look_at(Vec3 eye, Vec3 target, Vec3 up_hint) {
+  const Vec3 forward = normalized(target - eye);  // +z in camera space
+  Vec3 right = cross(up_hint, forward);
+  if (length(right) < 1e-6f) {
+    // Degenerate up hint (parallel to view direction): pick another.
+    right = cross(Vec3{1.0f, 0.0f, 0.0f}, forward);
+    if (length(right) < 1e-6f) right = cross(Vec3{0.0f, 0.0f, 1.0f}, forward);
+  }
+  right = normalized(right);
+  const Vec3 down = cross(forward, right);  // +y down (OpenCV convention)
+
+  Mat4 m = Mat4::identity();
+  m.m[0] = {right.x, right.y, right.z, -dot(right, eye)};
+  m.m[1] = {down.x, down.y, down.z, -dot(down, eye)};
+  m.m[2] = {forward.x, forward.y, forward.z, -dot(forward, eye)};
+  return m;
+}
+
+}  // namespace gstg

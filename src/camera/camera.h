@@ -1,0 +1,62 @@
+// Pinhole camera model matching the 3D-GS reference renderer conventions:
+// camera looks down +z in view space, pixels are (column, row) with the
+// origin at the top-left, and a point projects to
+//   u = fx * x/z + cx,   v = fy * y/z + cy.
+#pragma once
+
+#include "geometry/mat.h"
+#include "geometry/vec.h"
+
+namespace gstg {
+
+class Camera {
+ public:
+  /// Intrinsics from a horizontal field of view (radians); principal point at
+  /// the image centre. Throws std::invalid_argument for degenerate sizes.
+  static Camera from_fov(int width, int height, float fov_x_radians, const Mat4& world_to_camera);
+
+  /// Explicit intrinsics.
+  Camera(int width, int height, float fx, float fy, float cx, float cy,
+         const Mat4& world_to_camera);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] float fx() const { return fx_; }
+  [[nodiscard]] float fy() const { return fy_; }
+  [[nodiscard]] float cx() const { return cx_; }
+  [[nodiscard]] float cy() const { return cy_; }
+  [[nodiscard]] const Mat4& world_to_camera() const { return world_to_camera_; }
+  [[nodiscard]] Vec3 position() const;  ///< camera centre in world space
+
+  /// World point -> view space (camera coordinates).
+  [[nodiscard]] Vec3 to_view(Vec3 world) const { return world_to_camera_.transform_point(world); }
+
+  /// View-space point -> pixel coordinates (no bounds clamp).
+  [[nodiscard]] Vec2 view_to_pixel(Vec3 view) const {
+    return {fx_ * view.x / view.z + cx_, fy_ * view.y / view.z + cy_};
+  }
+
+  /// Near-plane + guard-band frustum test in view space. The guard band
+  /// (relative margin on x/y) keeps splats whose centre is just outside the
+  /// image but whose footprint reaches in, as the reference implementation
+  /// does with its 1.3x tan(fov) bound.
+  [[nodiscard]] bool in_frustum(Vec3 view, float near_z = 0.2f, float guard = 1.3f) const;
+
+  [[nodiscard]] float tan_half_fov_x() const { return 0.5f * static_cast<float>(width_) / fx_; }
+  [[nodiscard]] float tan_half_fov_y() const { return 0.5f * static_cast<float>(height_) / fy_; }
+
+ private:
+  int width_;
+  int height_;
+  float fx_;
+  float fy_;
+  float cx_;
+  float cy_;
+  Mat4 world_to_camera_;
+};
+
+/// Builds a world->camera rigid transform looking from `eye` toward `target`
+/// with the given up hint (OpenCV-style: +x right, +y down, +z forward).
+Mat4 look_at(Vec3 eye, Vec3 target, Vec3 up_hint = {0.0f, -1.0f, 0.0f});
+
+}  // namespace gstg

@@ -1,0 +1,35 @@
+#include "camera/ewa.h"
+
+#include <algorithm>
+
+namespace gstg {
+
+Sym2 project_covariance(const Camera& camera, const Mat3& cov3d_world, Vec3 t, float dilation) {
+  // Clamp the view-space direction used for the Jacobian, as in the
+  // reference CUDA implementation (forward.cu: computeCov2D).
+  const float lim_x = 1.3f * camera.tan_half_fov_x();
+  const float lim_y = 1.3f * camera.tan_half_fov_y();
+  const float txz = std::clamp(t.x / t.z, -lim_x, lim_x);
+  const float tyz = std::clamp(t.y / t.z, -lim_y, lim_y);
+  const float tx = txz * t.z;
+  const float ty = tyz * t.z;
+
+  const float fx = camera.fx();
+  const float fy = camera.fy();
+  const float inv_z = 1.0f / t.z;
+  const float inv_z2 = inv_z * inv_z;
+
+  // J is the 2x3 Jacobian of (x,y,z) -> (fx x/z, fy y/z). Embed it in a Mat3
+  // with a zero third row so we can reuse Mat3 multiplication.
+  Mat3 j{};
+  j.m[0] = {fx * inv_z, 0.0f, -fx * tx * inv_z2};
+  j.m[1] = {0.0f, fy * inv_z, -fy * ty * inv_z2};
+
+  const Mat3 w = camera.world_to_camera().rotation_block();
+  const Mat3 jw = j * w;
+  const Mat3 cov = jw * cov3d_world * jw.transposed();
+
+  return Sym2{cov.m[0][0] + dilation, cov.m[0][1], cov.m[1][1] + dilation};
+}
+
+}  // namespace gstg

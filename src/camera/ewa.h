@@ -1,0 +1,27 @@
+// EWA splatting: projection of a 3D Gaussian covariance to the 2D
+// screen-space covariance via the local affine approximation
+//   Sigma2D = J W Sigma3D W^T J^T
+// where W is the world->camera rotation and J the Jacobian of the
+// perspective projection at the splat centre (Zwicker et al.; used verbatim
+// by the 3D-GS reference implementation).
+#pragma once
+
+#include "camera/camera.h"
+#include "geometry/mat.h"
+#include "geometry/sym2.h"
+
+namespace gstg {
+
+/// Screen-space low-pass dilation added to both covariance diagonal entries;
+/// guarantees each splat covers at least ~1 pixel (value from the 3D-GS
+/// reference implementation).
+inline constexpr float kCovarianceDilation = 0.3f;
+
+/// Projects a world-space 3D covariance to screen space at view-space centre
+/// `t`. The centre's x/y are clamped to 1.3x the frustum extent before
+/// evaluating the Jacobian (reference-code trick to bound the affine
+/// approximation error at the image border).
+Sym2 project_covariance(const Camera& camera, const Mat3& cov3d_world, Vec3 t,
+                        float dilation = kCovarianceDilation);
+
+}  // namespace gstg

@@ -1,0 +1,54 @@
+#include "common/cli.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gstg {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc < 1) {
+    throw std::invalid_argument("CliArgs: empty argv");
+  }
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags_[arg.substr(2)] = "true";
+      } else {
+        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+std::string CliArgs::get(const std::string& key, const std::string& fallback) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+int CliArgs::get_int(const std::string& key, int fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return std::stoi(it->second);
+}
+
+void CliArgs::require_known(const std::vector<std::string>& known) const {
+  for (const auto& [key, value] : flags_) {
+    (void)value;
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      throw std::invalid_argument("unknown flag --" + key);
+    }
+  }
+}
+
+}  // namespace gstg

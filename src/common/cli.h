@@ -1,0 +1,35 @@
+// Minimal command-line flag parsing for the example binaries.
+//
+// Supports --key=value and --flag forms plus positional arguments; unknown
+// flags are reported so examples fail loudly on typos.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gstg {
+
+class CliArgs {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed input.
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const { return flags_.count(key) != 0; }
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+  /// Throws if any parsed flag is not in `known` (catches typos).
+  void require_known(const std::vector<std::string>& known) const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gstg

@@ -1,0 +1,95 @@
+#include "common/half.h"
+
+#include <bit>
+#include <cstring>
+
+namespace gstg {
+
+namespace {
+
+constexpr std::uint32_t f32_sign_mask = 0x8000'0000u;
+constexpr int f32_mant_bits = 23;
+constexpr int f16_mant_bits = 10;
+constexpr int mant_shift = f32_mant_bits - f16_mant_bits;  // 13
+
+}  // namespace
+
+std::uint16_t Half::from_float_bits(float value) {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  const std::uint16_t sign = static_cast<std::uint16_t>((f & f32_sign_mask) >> 16);
+  const std::uint32_t abs = f & 0x7fff'ffffu;
+
+  // NaN / infinity. Preserve a NaN payload bit so NaNs stay NaNs.
+  if (abs >= 0x7f80'0000u) {
+    const std::uint16_t mant =
+        (abs > 0x7f80'0000u) ? static_cast<std::uint16_t>(((abs >> mant_shift) & 0x3ffu) | 1u) : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7c00u | mant);
+  }
+
+  // Values that round to half infinity: >= 65520 (half max normal is 65504;
+  // round-to-nearest-even sends [65520, inf) to inf).
+  if (abs >= 0x477f'f000u) {
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+
+  const int exp32 = static_cast<int>(abs >> f32_mant_bits);  // biased by 127
+  int exp16 = exp32 - 127 + 15;
+
+  if (exp16 >= 1) {
+    // Normal half. Round mantissa to nearest even.
+    std::uint32_t mant = abs & 0x007f'ffffu;
+    std::uint32_t rounded = mant >> mant_shift;
+    const std::uint32_t rem = mant & ((1u << mant_shift) - 1);
+    const std::uint32_t halfway = 1u << (mant_shift - 1);
+    if (rem > halfway || (rem == halfway && (rounded & 1u))) {
+      ++rounded;
+    }
+    std::uint32_t result = (static_cast<std::uint32_t>(exp16) << f16_mant_bits) + rounded;
+    // Mantissa overflow carries into the exponent, which is exactly correct.
+    return static_cast<std::uint16_t>(sign | result);
+  }
+
+  // Subnormal half (or zero). Shift the implicit-1 mantissa right.
+  if (exp16 < -10) {
+    return sign;  // Rounds to signed zero.
+  }
+  std::uint32_t mant = (abs & 0x007f'ffffu) | 0x0080'0000u;
+  const int shift = mant_shift + (1 - exp16);
+  std::uint32_t rounded = mant >> shift;
+  const std::uint32_t rem = mant & ((1u << shift) - 1);
+  const std::uint32_t halfway = 1u << (shift - 1);
+  if (rem > halfway || (rem == halfway && (rounded & 1u))) {
+    ++rounded;
+  }
+  return static_cast<std::uint16_t>(sign | rounded);
+}
+
+float Half::to_float_bits(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> f16_mant_bits) & 0x1fu;
+  std::uint32_t mant = bits & 0x03ffu;
+
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // signed zero
+    } else {
+      // Subnormal: normalise by shifting the mantissa up.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x0400u) == 0);
+      out = sign | (static_cast<std::uint32_t>(127 - 15 - e) << f32_mant_bits) |
+            ((m & 0x03ffu) << mant_shift);
+    }
+  } else if (exp == 0x1fu) {
+    out = sign | 0x7f80'0000u | (mant << mant_shift);  // inf / nan
+  } else {
+    out = sign | ((exp - 15 + 127) << f32_mant_bits) | (mant << mant_shift);
+  }
+  return std::bit_cast<float>(out);
+}
+
+}  // namespace gstg

@@ -1,0 +1,56 @@
+// IEEE 754 binary16 ("half") storage type with fp32 conversion.
+//
+// The paper converts pretrained fp32 models to fp16 before running them on the
+// accelerator (section VI-A: "the models trained in 32-bit floating point are
+// converted to 16-bit floating point"). This type implements that conversion
+// (round-to-nearest-even, with correct subnormal/inf/nan handling) so the
+// quantisation pass in gaussian/quantize.h can reproduce the fp16 data path.
+#pragma once
+
+#include <cstdint>
+
+namespace gstg {
+
+/// Storage-only half-precision float. Arithmetic is performed in fp32; this
+/// type only holds the 16-bit pattern and converts at the boundaries, exactly
+/// as a hardware datapath with fp16 operands and fp32 accumulation would.
+class Half {
+ public:
+  constexpr Half() = default;
+
+  /// Converts fp32 -> fp16 with round-to-nearest-even.
+  explicit Half(float value) : bits_(from_float_bits(value)) {}
+
+  /// Converts the stored pattern back to fp32 (exact).
+  [[nodiscard]] float to_float() const { return to_float_bits(bits_); }
+  explicit operator float() const { return to_float(); }
+
+  /// Raw 16-bit pattern (sign 1, exponent 5, mantissa 10).
+  [[nodiscard]] constexpr std::uint16_t bits() const { return bits_; }
+
+  /// Builds a Half from a raw bit pattern.
+  static constexpr Half from_bits(std::uint16_t bits) {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  [[nodiscard]] bool is_nan() const {
+    return (bits_ & 0x7c00u) == 0x7c00u && (bits_ & 0x03ffu) != 0;
+  }
+  [[nodiscard]] bool is_inf() const { return (bits_ & 0x7fffu) == 0x7c00u; }
+
+  friend bool operator==(Half a, Half b) { return a.bits_ == b.bits_; }
+
+ private:
+  static std::uint16_t from_float_bits(float value);
+  static float to_float_bits(std::uint16_t bits);
+
+  std::uint16_t bits_ = 0;
+};
+
+/// Round-trips a float through fp16. Used by the quantisation pass: the value
+/// that the accelerator actually sees.
+inline float quantize_to_half(float value) { return Half(value).to_float(); }
+
+}  // namespace gstg

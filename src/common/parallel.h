@@ -1,0 +1,44 @@
+// Minimal data-parallel helper: static range partitioning over std::thread.
+//
+// Determinism contract: workers write only to disjoint output slots (or
+// thread-local accumulators merged afterwards), so results are independent
+// of the thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/runconfig.h"
+
+namespace gstg {
+
+/// Invokes fn(chunk_begin, chunk_end, worker_index) on `threads` workers
+/// covering [begin, end) with contiguous chunks. threads == 0 selects
+/// worker_thread_count(). Runs inline when the range is small or only one
+/// worker is requested.
+inline void parallel_for_chunks(std::size_t begin, std::size_t end,
+                                const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+                                std::size_t threads = 0) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  if (n == 0) return;
+  std::size_t workers = threads == 0 ? worker_thread_count() : threads;
+  if (workers > n) workers = n;
+  if (workers <= 1 || n < 256) {
+    fn(begin, end, 0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([&fn, lo, hi, w] { fn(lo, hi, w); });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace gstg

@@ -1,0 +1,30 @@
+#include "common/runconfig.h"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace gstg {
+
+RunScale run_scale_from_env() {
+  const char* env = std::getenv("GSTG_SCALE");
+  const std::string value = env ? env : "bench";
+  if (value == "full") {
+    return RunScale{.resolution_divisor = 1, .gaussian_divisor = 1};
+  }
+  if (value == "small") {
+    return RunScale{.resolution_divisor = 8, .gaussian_divisor = 64};
+  }
+  return RunScale{};  // "bench" default
+}
+
+std::size_t worker_thread_count() {
+  if (const char* env = std::getenv("GSTG_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace gstg

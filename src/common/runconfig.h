@@ -1,0 +1,36 @@
+// Global experiment scaling configuration.
+//
+// The paper evaluates multi-million-Gaussian scenes at up to 5472x3648. The
+// benchmark harness defaults to a reduced scale so the whole suite completes
+// on a small CI machine; every reported quantity is a ratio, so the paper's
+// shapes survive (see DESIGN.md section 5). GSTG_SCALE=full restores
+// paper-scale workloads.
+#pragma once
+
+#include <cstddef>
+
+namespace gstg {
+
+/// Workload scaling applied by the scene recipes.
+struct RunScale {
+  /// Linear resolution divisor (1 = paper resolution, 4 = 1/4 width & height).
+  int resolution_divisor = 4;
+  /// Gaussian-count divisor applied to each scene recipe's paper-scale count.
+  int gaussian_divisor = 16;
+
+  [[nodiscard]] bool is_full() const {
+    return resolution_divisor == 1 && gaussian_divisor == 1;
+  }
+};
+
+/// Reads GSTG_SCALE from the environment:
+///   unset / "bench" -> reduced scale (divisors 4 / 16)
+///   "small"         -> extra-small scale for smoke tests (divisors 8 / 64)
+///   "full"          -> paper scale (divisors 1 / 1)
+RunScale run_scale_from_env();
+
+/// Number of worker threads for the software pipelines (GSTG_THREADS or
+/// hardware_concurrency).
+std::size_t worker_thread_count();
+
+}  // namespace gstg

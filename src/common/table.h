@@ -1,0 +1,34 @@
+// Console table formatting. The benchmark binaries print the paper's tables
+// and figure series in a fixed-width layout so the output can be diffed
+// against EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gstg {
+
+/// Column-aligned text table with a title, header row and data rows.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row(const std::string& label, const std::vector<double>& values, int precision = 2);
+
+  [[nodiscard]] std::string to_string() const;
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by bench binaries).
+std::string format_fixed(double value, int precision);
+
+}  // namespace gstg

@@ -1,0 +1,30 @@
+// Wall-clock stage timer (milliseconds, steady clock).
+#pragma once
+
+#include <chrono>
+
+namespace gstg {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Milliseconds since construction or the last restart().
+  [[nodiscard]] double elapsed_ms() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+
+  /// Returns elapsed_ms() and restarts the timer — convenient for chaining
+  /// stage measurements.
+  double lap_ms() {
+    const double ms = elapsed_ms();
+    start_ = std::chrono::steady_clock::now();
+    return ms;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gstg

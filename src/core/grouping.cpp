@@ -1,0 +1,199 @@
+#include "core/grouping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/parallel.h"
+#include "render/rasterize.h"
+
+namespace gstg {
+
+BinnedSplats identify_groups(std::span<const ProjectedSplat> splats, const CellGrid& group_grid,
+                             const GsTgConfig& config, RenderCounters& counters) {
+  config.validate();
+  return bin_splats(splats, group_grid, config.group_boundary, config.threads, counters);
+}
+
+std::vector<TileMask> generate_bitmasks(std::span<const ProjectedSplat> splats,
+                                        const BinnedSplats& group_bins,
+                                        const CellGrid& tile_grid, const GsTgConfig& config,
+                                        RenderCounters& counters) {
+  config.validate();
+  const CellGrid& group_grid = group_bins.grid;
+  const int r = config.tiles_per_side();
+  std::vector<TileMask> masks(group_bins.splat_ids.size(), 0);
+
+  constexpr std::size_t kMaxWorkers = 256;
+  std::vector<std::size_t> tests_per_worker(kMaxWorkers, 0);
+
+  const std::size_t groups = static_cast<std::size_t>(group_grid.cell_count());
+  parallel_for_chunks(0, groups, [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+    std::size_t local_tests = 0;
+    for (std::size_t g = lo; g < hi; ++g) {
+      const int gx = static_cast<int>(g) % group_grid.cells_x;
+      const int gy = static_cast<int>(g) / group_grid.cells_x;
+      // Global tile-index window covered by this group, clipped to the grid.
+      const int tx_lo = gx * r;
+      const int ty_lo = gy * r;
+      const int tx_hi = std::min(tile_grid.cells_x, tx_lo + r);
+      const int ty_hi = std::min(tile_grid.cells_y, ty_lo + r);
+
+      for (std::uint32_t e = group_bins.offsets[g]; e < group_bins.offsets[g + 1]; ++e) {
+        const ProjectedSplat& s = splats[group_bins.splat_ids[e]];
+        // Restrict to the splat's AABB candidate range — the same candidate
+        // enumeration baseline binning uses, so hit sets match exactly.
+        const TileRange cand = candidate_cells(s, tile_grid);
+        const int x0 = std::max(tx_lo, cand.tx0);
+        const int x1 = std::min(tx_hi, cand.tx1);
+        const int y0 = std::max(ty_lo, cand.ty0);
+        const int y1 = std::min(ty_hi, cand.ty1);
+        if (x0 >= x1 || y0 >= y1) continue;
+
+        TileMask mask = 0;
+        if (config.mask_boundary == Boundary::kAabb) {
+          for (int ty = y0; ty < y1; ++ty) {
+            for (int tx = x0; tx < x1; ++tx) {
+              ++local_tests;
+              mask |= TileMask{1} << mask_bit_index(tx - tx_lo, ty - ty_lo, r);
+            }
+          }
+        } else {
+          const Ellipse footprint = s.footprint();
+          const Obb obb = Obb::from_ellipse(footprint);
+          for (int ty = y0; ty < y1; ++ty) {
+            for (int tx = x0; tx < x1; ++tx) {
+              const Rect rect = tile_rect(tx, ty, tile_grid.cell_size, tile_grid.image_width,
+                                          tile_grid.image_height);
+              ++local_tests;
+              const bool hit = config.mask_boundary == Boundary::kObb
+                                   ? obb_intersects(obb, rect)
+                                   : ellipse_intersects(footprint, rect);
+              if (hit) mask |= TileMask{1} << mask_bit_index(tx - tx_lo, ty - ty_lo, r);
+            }
+          }
+        }
+        masks[e] = mask;
+      }
+    }
+    tests_per_worker[worker % kMaxWorkers] += local_tests;
+  }, config.threads);
+
+  for (const std::size_t t : tests_per_worker) counters.bitmask_tests += t;
+  return masks;
+}
+
+void sort_groups(BinnedSplats& group_bins, std::vector<TileMask>& masks,
+                 std::span<const ProjectedSplat> splats, std::size_t threads,
+                 RenderCounters& counters) {
+  if (masks.size() != group_bins.splat_ids.size()) {
+    throw std::invalid_argument("sort_groups: mask array size mismatch");
+  }
+  const std::size_t groups = static_cast<std::size_t>(group_bins.grid.cell_count());
+
+  constexpr std::size_t kMaxWorkers = 256;
+  std::vector<double> volume_per_worker(kMaxWorkers, 0.0);
+  std::vector<std::size_t> pairs_per_worker(kMaxWorkers, 0);
+
+  parallel_for_chunks(0, groups, [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+    std::vector<std::pair<std::uint32_t, TileMask>> scratch;
+    double local_volume = 0.0;
+    std::size_t local_pairs = 0;
+    for (std::size_t g = lo; g < hi; ++g) {
+      const std::uint32_t begin = group_bins.offsets[g];
+      const std::uint32_t end = group_bins.offsets[g + 1];
+      const std::size_t n = end - begin;
+      local_pairs += n;
+      if (n <= 1) continue;
+      scratch.clear();
+      scratch.reserve(n);
+      for (std::uint32_t e = begin; e < end; ++e) {
+        scratch.emplace_back(group_bins.splat_ids[e], masks[e]);
+      }
+      std::sort(scratch.begin(), scratch.end(), [&](const auto& a, const auto& b) {
+        const float da = splats[a.first].depth, db = splats[b.first].depth;
+        if (da != db) return da < db;
+        return splats[a.first].index < splats[b.first].index;
+      });
+      for (std::size_t k = 0; k < n; ++k) {
+        group_bins.splat_ids[begin + k] = scratch[k].first;
+        masks[begin + k] = scratch[k].second;
+      }
+      local_volume += static_cast<double>(n) * std::log2(static_cast<double>(n));
+    }
+    volume_per_worker[worker % kMaxWorkers] += local_volume;
+    pairs_per_worker[worker % kMaxWorkers] += local_pairs;
+  }, threads);
+
+  for (std::size_t w = 0; w < kMaxWorkers; ++w) {
+    counters.sort_comparison_volume += volume_per_worker[w];
+    counters.sort_pairs += pairs_per_worker[w];
+  }
+}
+
+void rasterize_grouped(const GroupedFrame& frame, std::span<const ProjectedSplat> splats,
+                       Framebuffer& fb, std::size_t threads, RenderCounters& counters) {
+  const CellGrid& tile_grid = frame.tile_grid;
+  const CellGrid& group_grid = frame.group_grid;
+  const int r = frame.config.tiles_per_side();
+  const std::size_t tiles = static_cast<std::size_t>(tile_grid.cell_count());
+
+  constexpr std::size_t kMaxWorkers = 256;
+  struct WorkerStats {
+    TileRasterStats raster;
+    std::size_t filter_checks = 0;
+  };
+  std::vector<WorkerStats> per_worker(kMaxWorkers);
+
+  parallel_for_chunks(0, tiles, [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+    WorkerStats local;
+    std::vector<std::uint32_t> filtered;
+    for (std::size_t t = lo; t < hi; ++t) {
+      const int tx = static_cast<int>(t) % tile_grid.cells_x;
+      const int ty = static_cast<int>(t) / tile_grid.cells_x;
+      const int gx = tx / r;
+      const int gy = ty / r;
+      const std::size_t g = static_cast<std::size_t>(group_grid.cell_index(gx, gy));
+      const TileMask location =
+          TileMask{1} << mask_bit_index(tx - gx * r, ty - gy * r, r);
+
+      // The RM's filter: AND each entry's bitmask with the tile location.
+      filtered.clear();
+      const std::uint32_t begin = frame.group_bins.offsets[g];
+      const std::uint32_t end = frame.group_bins.offsets[g + 1];
+      local.filter_checks += end - begin;
+      for (std::uint32_t e = begin; e < end; ++e) {
+        if (frame.masks[e] & location) filtered.push_back(frame.group_bins.splat_ids[e]);
+      }
+
+      const int x0 = tx * tile_grid.cell_size;
+      const int y0 = ty * tile_grid.cell_size;
+      const int x1 = std::min(x0 + tile_grid.cell_size, tile_grid.image_width);
+      const int y1 = std::min(y0 + tile_grid.cell_size, tile_grid.image_height);
+      const TileRasterStats s = rasterize_tile(splats, filtered, x0, y0, x1, y1, fb);
+      local.raster.alpha_computations += s.alpha_computations;
+      local.raster.blend_ops += s.blend_ops;
+      local.raster.early_exit_pixels += s.early_exit_pixels;
+      local.raster.pixel_list_work += s.pixel_list_work;
+      local.raster.pixels += s.pixels;
+    }
+    WorkerStats& slot = per_worker[worker % kMaxWorkers];
+    slot.raster.alpha_computations += local.raster.alpha_computations;
+    slot.raster.blend_ops += local.raster.blend_ops;
+    slot.raster.early_exit_pixels += local.raster.early_exit_pixels;
+    slot.raster.pixel_list_work += local.raster.pixel_list_work;
+    slot.raster.pixels += local.raster.pixels;
+    slot.filter_checks += local.filter_checks;
+  }, threads);
+
+  for (const WorkerStats& s : per_worker) {
+    counters.alpha_computations += s.raster.alpha_computations;
+    counters.blend_ops += s.raster.blend_ops;
+    counters.early_exit_pixels += s.raster.early_exit_pixels;
+    counters.pixel_list_work += s.raster.pixel_list_work;
+    counters.total_pixels += s.raster.pixels;
+    counters.filter_checks += s.filter_checks;
+  }
+}
+
+}  // namespace gstg

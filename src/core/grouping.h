@@ -1,0 +1,65 @@
+// The GS-TG tile-grouping stages (paper section IV-B):
+//   group identification -> bitmask generation -> group-wise sorting
+//   -> bitmask-filtered tile-wise rasterization.
+// Each stage is exposed separately so tests can probe invariants and the
+// cycle-level simulator can consume the intermediate data.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/gstg_config.h"
+#include "render/binning.h"
+#include "render/framebuffer.h"
+#include "render/types.h"
+
+namespace gstg {
+
+/// Intermediate state of a GS-TG frame after grouping/sorting: the group
+/// grid, per-group depth-sorted splat lists, and the per-entry tile
+/// bitmasks (parallel to group_bins.splat_ids).
+struct GroupedFrame {
+  GsTgConfig config;
+  CellGrid tile_grid;
+  CellGrid group_grid;
+  BinnedSplats group_bins;
+  std::vector<TileMask> masks;
+};
+
+/// Group identification: bins splats at group granularity with the group
+/// boundary method. Counter semantics match baseline binning, but at group
+/// scale — tile_pairs then measures the *sorting* volume GS-TG pays.
+BinnedSplats identify_groups(std::span<const ProjectedSplat> splats, const CellGrid& group_grid,
+                             const GsTgConfig& config, RenderCounters& counters);
+
+/// Bitmask generation: for every (group, splat) entry, marks which small
+/// tiles inside the group the splat's footprint touches, using the mask
+/// boundary method. Tests are restricted to the splat's AABB candidate
+/// range, mirroring baseline binning, so the effective per-tile hit set is
+/// identical to a baseline run with the same boundary (the lossless
+/// property). Updates counters.bitmask_tests.
+std::vector<TileMask> generate_bitmasks(std::span<const ProjectedSplat> splats,
+                                        const BinnedSplats& group_bins,
+                                        const CellGrid& tile_grid, const GsTgConfig& config,
+                                        RenderCounters& counters);
+
+/// Group-wise sorting: orders each group's (splat, mask) entries by
+/// (depth, index). A filtered subsequence is then automatically in the same
+/// order as the baseline's per-tile sorted list.
+void sort_groups(BinnedSplats& group_bins, std::vector<TileMask>& masks,
+                 std::span<const ProjectedSplat> splats, std::size_t threads,
+                 RenderCounters& counters);
+
+/// Tile-wise rasterization over group-sorted lists: per tile, gathers the
+/// entries whose bitmask covers the tile (the RM's AND-filter) and runs the
+/// shared tile rasterizer. Updates counters.filter_checks plus the usual
+/// rasterization counters.
+void rasterize_grouped(const GroupedFrame& frame, std::span<const ProjectedSplat> splats,
+                       Framebuffer& fb, std::size_t threads, RenderCounters& counters);
+
+/// Local-tile bit index inside a group (row-major over the group's tiles).
+constexpr int mask_bit_index(int local_tx, int local_ty, int tiles_per_side) {
+  return local_ty * tiles_per_side + local_tx;
+}
+
+}  // namespace gstg

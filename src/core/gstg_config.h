@@ -1,0 +1,68 @@
+// GS-TG pipeline configuration: tile/group geometry and the boundary
+// methods of the two identification steps (paper sections IV-B and VI-B).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "geometry/intersect.h"
+
+namespace gstg {
+
+/// Per-Gaussian tile bitmask within a group. The hardware uses 16 bits
+/// (4x4 tiles per group, the 16+64 configuration); the software pipeline
+/// supports up to 64 tiles per group to cover the Fig. 11 sweep (8+64).
+using TileMask = std::uint64_t;
+
+struct GsTgConfig {
+  int tile_size = 16;
+  int group_size = 64;
+  /// Boundary method of the group identification step.
+  Boundary group_boundary = Boundary::kEllipse;
+  /// Boundary method of the per-tile bitmask generation step.
+  Boundary mask_boundary = Boundary::kEllipse;
+  /// Opacity-aware footprint extent (FlashGS-style) instead of 3-sigma.
+  bool opacity_aware_rho = false;
+  std::size_t threads = 0;  ///< 0 = auto
+
+  /// Tiles per group side; group_size must be a positive multiple of
+  /// tile_size so small tiles align perfectly inside groups (paper Fig. 8b —
+  /// the alignment that makes the method lossless).
+  [[nodiscard]] int tiles_per_side() const { return group_size / tile_size; }
+  [[nodiscard]] int tiles_per_group() const { return tiles_per_side() * tiles_per_side(); }
+
+  void validate() const {
+    if (tile_size <= 0 || group_size <= 0) {
+      throw std::invalid_argument("GsTgConfig: sizes must be positive");
+    }
+    if (group_size % tile_size != 0) {
+      throw std::invalid_argument(
+          "GsTgConfig: group_size must be a multiple of tile_size (tile alignment)");
+    }
+    if (tiles_per_group() > 64) {
+      throw std::invalid_argument("GsTgConfig: more than 64 tiles per group (bitmask overflow)");
+    }
+  }
+
+  /// True when the (group, mask) boundary pair guarantees pixel-exact
+  /// equality with the baseline using `mask_boundary` tiles. Requires every
+  /// tile-level hit to imply a group-level hit: the mask shape must be
+  /// contained in the group shape (Ellipse ⊆ OBB ⊆ ... see core/pipeline.cpp
+  /// notes). All combinations the paper evaluates satisfy this.
+  [[nodiscard]] bool lossless_guaranteed() const {
+    const auto rank = [](Boundary b) {
+      switch (b) {
+        case Boundary::kAabb:
+          return 0;  // loosest
+        case Boundary::kObb:
+          return 1;
+        case Boundary::kEllipse:
+          return 2;  // tightest
+      }
+      return 0;
+    };
+    return rank(mask_boundary) >= rank(group_boundary);
+  }
+};
+
+}  // namespace gstg

@@ -1,0 +1,63 @@
+#include "gaussian/cloud.h"
+
+#include <stdexcept>
+
+namespace gstg {
+
+GaussianCloud::GaussianCloud(int sh_degree) : sh_degree_(sh_degree) {
+  if (sh_degree < 0 || sh_degree > kMaxShDegree) {
+    throw std::invalid_argument("GaussianCloud: SH degree out of range");
+  }
+}
+
+void GaussianCloud::reserve(std::size_t n) {
+  positions_.reserve(n);
+  scales_.reserve(n);
+  rotations_.reserve(n);
+  opacities_.reserve(n);
+  sh_.reserve(n * sh_floats_per_gaussian());
+}
+
+void GaussianCloud::add(Vec3 position, Vec3 scale, Quat rotation, float opacity,
+                        std::span<const float> sh) {
+  if (sh.size() != sh_floats_per_gaussian()) {
+    throw std::invalid_argument("GaussianCloud::add: SH size mismatch");
+  }
+  if (!(scale.x > 0.0f && scale.y > 0.0f && scale.z > 0.0f)) {
+    throw std::invalid_argument("GaussianCloud::add: scale must be positive");
+  }
+  if (!(opacity >= 0.0f && opacity <= 1.0f)) {
+    throw std::invalid_argument("GaussianCloud::add: opacity must be in [0,1]");
+  }
+  positions_.push_back(position);
+  scales_.push_back(scale);
+  rotations_.push_back(normalized(rotation));
+  opacities_.push_back(opacity);
+  sh_.insert(sh_.end(), sh.begin(), sh.end());
+}
+
+void GaussianCloud::add_solid(Vec3 position, Vec3 scale, Quat rotation, float opacity, Vec3 rgb) {
+  std::vector<float> sh(sh_floats_per_gaussian(), 0.0f);
+  const std::size_t n = sh_coeff_count(sh_degree_);
+  // Invert colour = 0.5 + c0 * Y0: c0 = (rgb - 0.5) / Y0.
+  constexpr float kY0 = 0.28209479177387814f;
+  sh[0 * n] = (rgb.x - 0.5f) / kY0;
+  sh[1 * n] = (rgb.y - 0.5f) / kY0;
+  sh[2 * n] = (rgb.z - 0.5f) / kY0;
+  add(position, scale, rotation, opacity, sh);
+}
+
+Mat3 GaussianCloud::covariance3d(std::size_t i) const {
+  const Mat3 r = rotation_matrix(rotations_[i]);
+  const Vec3 s = scales_[i];
+  // M = R * diag(s); cov = M * M^T.
+  Mat3 m = r;
+  for (int row = 0; row < 3; ++row) {
+    m.m[row][0] *= s.x;
+    m.m[row][1] *= s.y;
+    m.m[row][2] *= s.z;
+  }
+  return m * m.transposed();
+}
+
+}  // namespace gstg

@@ -1,0 +1,84 @@
+// Structure-of-arrays Gaussian cloud: the scene representation consumed by
+// every renderer and by the accelerator simulator.
+//
+// Values are stored *activated* (scales after exp, opacity after sigmoid),
+// i.e. ready for rendering; the PLY reader/writer applies the activations at
+// the file boundary, matching how the 3D-GS reference code treats checkpoint
+// parameters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/mat.h"
+#include "geometry/quaternion.h"
+#include "geometry/vec.h"
+#include "gaussian/sh.h"
+
+namespace gstg {
+
+class GaussianCloud {
+ public:
+  explicit GaussianCloud(int sh_degree = kMaxShDegree);
+
+  [[nodiscard]] std::size_t size() const { return positions_.size(); }
+  [[nodiscard]] bool empty() const { return positions_.empty(); }
+  [[nodiscard]] int sh_degree() const { return sh_degree_; }
+  /// Floats of SH data per Gaussian: 3 channels x (degree+1)^2.
+  [[nodiscard]] std::size_t sh_floats_per_gaussian() const {
+    return 3 * sh_coeff_count(sh_degree_);
+  }
+
+  void reserve(std::size_t n);
+
+  /// Appends one Gaussian. `sh` must contain sh_floats_per_gaussian()
+  /// values laid out channel-major ([r coeffs..., g coeffs..., b coeffs...]).
+  /// Throws std::invalid_argument on size mismatch or non-positive scale.
+  void add(Vec3 position, Vec3 scale, Quat rotation, float opacity, std::span<const float> sh);
+
+  /// Convenience for tests/examples: constant colour (DC term only derived
+  /// from an RGB value in [0,1]; higher-order coefficients zero).
+  void add_solid(Vec3 position, Vec3 scale, Quat rotation, float opacity, Vec3 rgb);
+
+  [[nodiscard]] Vec3 position(std::size_t i) const { return positions_[i]; }
+  [[nodiscard]] Vec3 scale(std::size_t i) const { return scales_[i]; }
+  [[nodiscard]] Quat rotation(std::size_t i) const { return rotations_[i]; }
+  [[nodiscard]] float opacity(std::size_t i) const { return opacities_[i]; }
+  [[nodiscard]] std::span<const float> sh(std::size_t i) const {
+    return {sh_.data() + i * sh_floats_per_gaussian(), sh_floats_per_gaussian()};
+  }
+
+  /// World-space 3D covariance R S S^T R^T of Gaussian i.
+  [[nodiscard]] Mat3 covariance3d(std::size_t i) const;
+
+  /// Mutable access used by the quantisation pass.
+  std::vector<Vec3>& positions() { return positions_; }
+  std::vector<Vec3>& scales() { return scales_; }
+  std::vector<Quat>& rotations() { return rotations_; }
+  std::vector<float>& opacities() { return opacities_; }
+  std::vector<float>& sh_data() { return sh_; }
+  [[nodiscard]] const std::vector<Vec3>& positions() const { return positions_; }
+  [[nodiscard]] const std::vector<Vec3>& scales() const { return scales_; }
+  [[nodiscard]] const std::vector<Quat>& rotations() const { return rotations_; }
+  [[nodiscard]] const std::vector<float>& opacities() const { return opacities_; }
+  [[nodiscard]] const std::vector<float>& sh_data() const { return sh_; }
+
+  /// Bytes a Gaussian's parameters occupy in the accelerator's DRAM layout
+  /// at the given precision (4 = fp32, 2 = fp16): position(3) + scale(3) +
+  /// rotation(4) + opacity(1) + SH. Used by the DRAM traffic model.
+  [[nodiscard]] std::size_t bytes_per_gaussian(std::size_t bytes_per_scalar) const {
+    return (3 + 3 + 4 + 1 + sh_floats_per_gaussian()) * bytes_per_scalar;
+  }
+
+ private:
+  int sh_degree_;
+  std::vector<Vec3> positions_;
+  std::vector<Vec3> scales_;
+  std::vector<Quat> rotations_;
+  std::vector<float> opacities_;
+  std::vector<float> sh_;  // flattened [i][channel][coeff]
+};
+
+}  // namespace gstg

@@ -1,0 +1,197 @@
+#include "gaussian/ply_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace gstg {
+
+namespace {
+
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+float logit(float p) {
+  const float clamped = std::clamp(p, 1e-7f, 1.0f - 1e-7f);
+  return std::log(clamped / (1.0f - clamped));
+}
+
+struct PlyHeader {
+  std::size_t vertex_count = 0;
+  std::vector<std::string> properties;  // in file order, all float32
+};
+
+PlyHeader parse_header(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "ply") {
+    throw std::runtime_error("PLY: missing magic");
+  }
+  PlyHeader header;
+  bool in_vertex_element = false;
+  bool format_ok = false;
+  while (std::getline(in, line)) {
+    // Tolerate trailing carriage returns from files written on Windows.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::istringstream ss(line);
+    std::string word;
+    ss >> word;
+    if (word == "format") {
+      std::string fmt;
+      ss >> fmt;
+      if (fmt != "binary_little_endian") {
+        throw std::runtime_error("PLY: only binary_little_endian is supported");
+      }
+      format_ok = true;
+    } else if (word == "element") {
+      std::string name;
+      std::size_t count = 0;
+      ss >> name >> count;
+      if (name == "vertex") {
+        header.vertex_count = count;
+        in_vertex_element = true;
+      } else {
+        in_vertex_element = false;
+      }
+    } else if (word == "property" && in_vertex_element) {
+      std::string type, name;
+      ss >> type >> name;
+      if (type != "float" && type != "float32") {
+        throw std::runtime_error("PLY: non-float vertex property '" + name + "'");
+      }
+      header.properties.push_back(name);
+    } else if (word == "end_header") {
+      if (!format_ok) throw std::runtime_error("PLY: missing format line");
+      return header;
+    }
+  }
+  throw std::runtime_error("PLY: missing end_header");
+}
+
+int sh_degree_from_rest_count(std::size_t rest_count) {
+  // f_rest holds 3 * ((deg+1)^2 - 1) floats.
+  for (int deg = 0; deg <= kMaxShDegree; ++deg) {
+    if (rest_count == 3 * (sh_coeff_count(deg) - 1)) return deg;
+  }
+  throw std::runtime_error("PLY: f_rest count does not match any SH degree <= 3");
+}
+
+}  // namespace
+
+GaussianCloud read_gaussian_ply(std::istream& in) {
+  const PlyHeader header = parse_header(in);
+
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < header.properties.size(); ++i) {
+    index[header.properties[i]] = i;
+  }
+  auto require = [&](const std::string& name) -> std::size_t {
+    const auto it = index.find(name);
+    if (it == index.end()) throw std::runtime_error("PLY: missing property " + name);
+    return it->second;
+  };
+
+  const std::size_t ix = require("x"), iy = require("y"), iz = require("z");
+  const std::size_t idc0 = require("f_dc_0"), idc1 = require("f_dc_1"), idc2 = require("f_dc_2");
+  const std::size_t iop = require("opacity");
+  const std::size_t is0 = require("scale_0"), is1 = require("scale_1"), is2 = require("scale_2");
+  const std::size_t ir0 = require("rot_0"), ir1 = require("rot_1"), ir2 = require("rot_2"),
+                    ir3 = require("rot_3");
+
+  std::size_t rest_count = 0;
+  while (index.count("f_rest_" + std::to_string(rest_count)) != 0) ++rest_count;
+  const int degree = sh_degree_from_rest_count(rest_count);
+  const std::size_t n_coeff = sh_coeff_count(degree);
+
+  GaussianCloud cloud(degree);
+  cloud.reserve(header.vertex_count);
+
+  const std::size_t stride = header.properties.size();
+  std::vector<float> row(stride);
+  std::vector<float> sh(3 * n_coeff);
+
+  for (std::size_t v = 0; v < header.vertex_count; ++v) {
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(stride * sizeof(float)));
+    if (!in) {
+      throw std::runtime_error("PLY: truncated vertex data at row " + std::to_string(v));
+    }
+    const Vec3 pos{row[ix], row[iy], row[iz]};
+    const Vec3 scale{std::exp(row[is0]), std::exp(row[is1]), std::exp(row[is2])};
+    const Quat rot{row[ir0], row[ir1], row[ir2], row[ir3]};
+    const float opacity = sigmoid(row[iop]);
+
+    // DC per channel, then rest: file order is coefficient-major
+    // (f_rest_k, k = channel-major within the reference exporter: actually
+    // the exporter flattens [coeff][channel] after transpose; we follow the
+    // INRIA layout where f_rest is grouped per channel).
+    sh.assign(3 * n_coeff, 0.0f);
+    sh[0 * n_coeff] = row[idc0];
+    sh[1 * n_coeff] = row[idc1];
+    sh[2 * n_coeff] = row[idc2];
+    const std::size_t rest_per_channel = n_coeff - 1;
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t k = 0; k < rest_per_channel; ++k) {
+        const std::size_t file_idx = require("f_rest_" + std::to_string(c * rest_per_channel + k));
+        sh[c * n_coeff + 1 + k] = row[file_idx];
+      }
+    }
+    cloud.add(pos, scale, rot, opacity, sh);
+  }
+  return cloud;
+}
+
+GaussianCloud read_gaussian_ply_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("PLY: cannot open " + path);
+  return read_gaussian_ply(in);
+}
+
+void write_gaussian_ply(std::ostream& out, const GaussianCloud& cloud) {
+  const std::size_t n_coeff = sh_coeff_count(cloud.sh_degree());
+  const std::size_t rest_per_channel = n_coeff - 1;
+
+  out << "ply\nformat binary_little_endian 1.0\n";
+  out << "element vertex " << cloud.size() << "\n";
+  const char* base[] = {"x", "y", "z", "nx", "ny", "nz", "f_dc_0", "f_dc_1", "f_dc_2"};
+  for (const char* p : base) out << "property float " << p << "\n";
+  for (std::size_t i = 0; i < 3 * rest_per_channel; ++i) {
+    out << "property float f_rest_" << i << "\n";
+  }
+  out << "property float opacity\n";
+  for (int i = 0; i < 3; ++i) out << "property float scale_" << i << "\n";
+  for (int i = 0; i < 4; ++i) out << "property float rot_" << i << "\n";
+  out << "end_header\n";
+
+  std::vector<float> row;
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    row.clear();
+    const Vec3 p = cloud.position(i);
+    row.insert(row.end(), {p.x, p.y, p.z, 0.0f, 0.0f, 0.0f});
+    const auto sh = cloud.sh(i);
+    row.insert(row.end(), {sh[0 * n_coeff], sh[1 * n_coeff], sh[2 * n_coeff]});
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t k = 0; k < rest_per_channel; ++k) {
+        row.push_back(sh[c * n_coeff + 1 + k]);
+      }
+    }
+    row.push_back(logit(cloud.opacity(i)));
+    const Vec3 s = cloud.scale(i);
+    row.insert(row.end(), {std::log(s.x), std::log(s.y), std::log(s.z)});
+    const Quat q = cloud.rotation(i);
+    row.insert(row.end(), {q.w, q.x, q.y, q.z});
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("PLY: write failure");
+}
+
+void write_gaussian_ply_file(const std::string& path, const GaussianCloud& cloud) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("PLY: cannot open " + path + " for writing");
+  write_gaussian_ply(out, cloud);
+}
+
+}  // namespace gstg

@@ -1,0 +1,31 @@
+// Reader/writer for the 3D-GS checkpoint PLY layout (binary little-endian,
+// one vertex element with properties x,y,z,nx,ny,nz,f_dc_*,f_rest_*,opacity,
+// scale_*,rot_*). This lets users load real pretrained scenes in place of
+// the synthetic recipes.
+//
+// Activations applied on load (inverted on save), as in the reference code:
+//   scale   = exp(scale_raw)
+//   opacity = sigmoid(opacity_raw)
+//   rotation normalised
+// SH layout note: the checkpoint stores f_rest interleaved coefficient-major
+// (all of coeff 1's RGB, then coeff 2's RGB, ...); GaussianCloud stores
+// channel-major. The reader converts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gaussian/cloud.h"
+
+namespace gstg {
+
+/// Parses a 3D-GS PLY from a stream. Throws std::runtime_error on malformed
+/// headers, unsupported formats, or truncated data.
+GaussianCloud read_gaussian_ply(std::istream& in);
+GaussianCloud read_gaussian_ply_file(const std::string& path);
+
+/// Writes the cloud in the same layout (inverse activations applied).
+void write_gaussian_ply(std::ostream& out, const GaussianCloud& cloud);
+void write_gaussian_ply_file(const std::string& path, const GaussianCloud& cloud);
+
+}  // namespace gstg

@@ -1,0 +1,58 @@
+#include "gaussian/quantize.h"
+
+#include <cmath>
+
+#include "common/half.h"
+
+namespace gstg {
+
+namespace {
+
+float round_track(float value, float& max_abs_err) {
+  const float q = quantize_to_half(value);
+  max_abs_err = std::max(max_abs_err, std::fabs(q - value));
+  return q;
+}
+
+}  // namespace
+
+QuantizeReport quantize_cloud_to_fp16(GaussianCloud& cloud) {
+  QuantizeReport report;
+
+  for (Vec3& p : cloud.positions()) {
+    p.x = round_track(p.x, report.max_position_error);
+    p.y = round_track(p.y, report.max_position_error);
+    p.z = round_track(p.z, report.max_position_error);
+  }
+  for (Vec3& s : cloud.scales()) {
+    // Track relative error for scales: their magnitudes span decades.
+    for (float* component : {&s.x, &s.y, &s.z}) {
+      const float before = *component;
+      *component = quantize_to_half(before);
+      if (before != 0.0f) {
+        report.max_scale_rel_error =
+            std::max(report.max_scale_rel_error, std::fabs(*component - before) / std::fabs(before));
+      }
+    }
+  }
+  for (Quat& q : cloud.rotations()) {
+    float unused = 0.0f;
+    q.w = round_track(q.w, unused);
+    q.x = round_track(q.x, unused);
+    q.y = round_track(q.y, unused);
+    q.z = round_track(q.z, unused);
+    q = normalized(q);
+  }
+  for (float& o : cloud.opacities()) {
+    o = round_track(o, report.max_opacity_error);
+    // fp16 rounding can nudge past 1.0 representation-wise; clamp to domain.
+    if (o > 1.0f) o = 1.0f;
+    if (o < 0.0f) o = 0.0f;
+  }
+  for (float& c : cloud.sh_data()) {
+    c = round_track(c, report.max_sh_error);
+  }
+  return report;
+}
+
+}  // namespace gstg

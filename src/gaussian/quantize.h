@@ -1,0 +1,27 @@
+// fp32 -> fp16 model quantisation pass.
+//
+// Section VI-A: "to improve the throughput and area efficiency of GS-TG, the
+// models trained in 32-bit floating point are converted to 16-bit floating
+// point." This pass rounds every Gaussian parameter through IEEE binary16
+// so the simulator and renderer see exactly the values an fp16 datapath
+// would.
+#pragma once
+
+#include "gaussian/cloud.h"
+
+namespace gstg {
+
+/// Statistics of a quantisation pass (max absolute rounding error per
+/// parameter group), useful for the fp16-fidelity extension experiment.
+struct QuantizeReport {
+  float max_position_error = 0.0f;
+  float max_scale_rel_error = 0.0f;
+  float max_opacity_error = 0.0f;
+  float max_sh_error = 0.0f;
+};
+
+/// Rounds all parameters of `cloud` through fp16 in place and reports the
+/// introduced error.
+QuantizeReport quantize_cloud_to_fp16(GaussianCloud& cloud);
+
+}  // namespace gstg

@@ -1,0 +1,75 @@
+#include "gaussian/sh.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gstg {
+
+namespace {
+
+// Hard-coded real SH constants, identical to the 3D-GS reference renderer.
+constexpr float kSh0 = 0.28209479177387814f;
+constexpr float kSh1 = 0.4886025119029199f;
+constexpr float kSh2[] = {1.0925484305920792f, -1.0925484305920792f, 0.31539156525252005f,
+                          -1.0925484305920792f, 0.5462742152960396f};
+constexpr float kSh3[] = {-0.5900435899266435f, 2.890611442640554f,  -0.4570457994644658f,
+                          0.3731763325901154f,  -0.4570457994644658f, 1.445305721320277f,
+                          -0.5900435899266435f};
+
+}  // namespace
+
+void eval_sh_basis(int degree, Vec3 dir, std::span<float> out) {
+  if (degree < 0 || degree > kMaxShDegree) {
+    throw std::invalid_argument("eval_sh_basis: degree out of range");
+  }
+  if (out.size() < sh_coeff_count(degree)) {
+    throw std::invalid_argument("eval_sh_basis: output span too small");
+  }
+  const float x = dir.x, y = dir.y, z = dir.z;
+
+  out[0] = kSh0;
+  if (degree < 1) return;
+
+  out[1] = -kSh1 * y;
+  out[2] = kSh1 * z;
+  out[3] = -kSh1 * x;
+  if (degree < 2) return;
+
+  const float xx = x * x, yy = y * y, zz = z * z;
+  const float xy = x * y, yz = y * z, xz = x * z;
+  out[4] = kSh2[0] * xy;
+  out[5] = kSh2[1] * yz;
+  out[6] = kSh2[2] * (2.0f * zz - xx - yy);
+  out[7] = kSh2[3] * xz;
+  out[8] = kSh2[4] * (xx - yy);
+  if (degree < 3) return;
+
+  out[9] = kSh3[0] * y * (3.0f * xx - yy);
+  out[10] = kSh3[1] * xy * z;
+  out[11] = kSh3[2] * y * (4.0f * zz - xx - yy);
+  out[12] = kSh3[3] * z * (2.0f * zz - 3.0f * xx - 3.0f * yy);
+  out[13] = kSh3[4] * x * (4.0f * zz - xx - yy);
+  out[14] = kSh3[5] * z * (xx - yy);
+  out[15] = kSh3[6] * x * (xx - 3.0f * yy);
+}
+
+Vec3 eval_sh_color(int degree, std::span<const float> coeffs, Vec3 dir) {
+  const std::size_t n = sh_coeff_count(degree);
+  if (coeffs.size() < 3 * n) {
+    throw std::invalid_argument("eval_sh_color: coefficient span too small");
+  }
+  float basis[kMaxShCoeffs];
+  eval_sh_basis(degree, dir, std::span<float>(basis, kMaxShCoeffs));
+
+  Vec3 rgb{0.0f, 0.0f, 0.0f};
+  for (std::size_t i = 0; i < n; ++i) {
+    rgb.x += coeffs[0 * n + i] * basis[i];
+    rgb.y += coeffs[1 * n + i] * basis[i];
+    rgb.z += coeffs[2 * n + i] * basis[i];
+  }
+  rgb = rgb + Vec3{0.5f, 0.5f, 0.5f};
+  return {std::max(0.0f, rgb.x), std::max(0.0f, rgb.y), std::max(0.0f, rgb.z)};
+}
+
+}  // namespace gstg

@@ -1,0 +1,31 @@
+// Real spherical harmonics evaluation, degrees 0..3, matching the 3D-GS
+// reference implementation: colour = 0.5 + sum_l sum_m c_{lm} * Y_{lm}(dir),
+// clamped to be non-negative.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "geometry/vec.h"
+
+namespace gstg {
+
+/// Number of SH basis functions for a given degree: (degree+1)^2.
+constexpr std::size_t sh_coeff_count(int degree) {
+  return static_cast<std::size_t>((degree + 1) * (degree + 1));
+}
+
+inline constexpr int kMaxShDegree = 3;
+inline constexpr std::size_t kMaxShCoeffs = 16;  // (3+1)^2
+
+/// Evaluates the SH basis functions Y_0..Y_{(deg+1)^2-1} at unit direction
+/// `dir` into `out` (size must be >= sh_coeff_count(degree)).
+void eval_sh_basis(int degree, Vec3 dir, std::span<float> out);
+
+/// Evaluates an RGB colour from per-channel coefficient arrays laid out as
+/// coeffs[channel * n + i] (n = sh_coeff_count(degree)). `dir` must be a unit
+/// vector (the viewing direction from camera to splat). Result is offset by
+/// +0.5 and clamped at zero, as in the reference implementation.
+Vec3 eval_sh_color(int degree, std::span<const float> coeffs, Vec3 dir);
+
+}  // namespace gstg

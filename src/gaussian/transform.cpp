@@ -1,0 +1,74 @@
+#include "gaussian/transform.h"
+
+#include <stdexcept>
+
+namespace gstg {
+
+namespace {
+
+/// Hamilton product r = a * b.
+Quat multiply(const Quat& a, const Quat& b) {
+  return {a.w * b.w - a.x * b.x - a.y * b.y - a.z * b.z,
+          a.w * b.x + a.x * b.w + a.y * b.z - a.z * b.y,
+          a.w * b.y - a.x * b.z + a.y * b.w + a.z * b.x,
+          a.w * b.z + a.x * b.y - a.y * b.x + a.z * b.w};
+}
+
+}  // namespace
+
+void apply_rigid_transform(GaussianCloud& cloud, const Quat& rotation, Vec3 translation) {
+  const Quat r = normalized(rotation);
+  const Mat3 rm = rotation_matrix(r);
+  for (Vec3& p : cloud.positions()) {
+    p = rm * p + translation;
+  }
+  for (Quat& q : cloud.rotations()) {
+    q = normalized(multiply(r, q));
+  }
+}
+
+void apply_uniform_scale(GaussianCloud& cloud, float factor) {
+  if (!(factor > 0.0f)) {
+    throw std::invalid_argument("apply_uniform_scale: factor must be positive");
+  }
+  for (Vec3& p : cloud.positions()) p = p * factor;
+  for (Vec3& s : cloud.scales()) s = s * factor;
+}
+
+void concatenate(GaussianCloud& cloud, const GaussianCloud& extra) {
+  if (cloud.sh_degree() != extra.sh_degree()) {
+    throw std::invalid_argument("concatenate: SH degree mismatch");
+  }
+  cloud.reserve(cloud.size() + extra.size());
+  for (std::size_t i = 0; i < extra.size(); ++i) {
+    cloud.add(extra.position(i), extra.scale(i), extra.rotation(i), extra.opacity(i),
+              extra.sh(i));
+  }
+}
+
+std::size_t prune_by_opacity(GaussianCloud& cloud, float threshold) {
+  const std::size_t n = cloud.size();
+  const std::size_t sh_stride = cloud.sh_floats_per_gaussian();
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cloud.opacity(i) < threshold) continue;
+    if (kept != i) {
+      cloud.positions()[kept] = cloud.positions()[i];
+      cloud.scales()[kept] = cloud.scales()[i];
+      cloud.rotations()[kept] = cloud.rotations()[i];
+      cloud.opacities()[kept] = cloud.opacities()[i];
+      for (std::size_t k = 0; k < sh_stride; ++k) {
+        cloud.sh_data()[kept * sh_stride + k] = cloud.sh_data()[i * sh_stride + k];
+      }
+    }
+    ++kept;
+  }
+  cloud.positions().resize(kept);
+  cloud.scales().resize(kept);
+  cloud.rotations().resize(kept);
+  cloud.opacities().resize(kept);
+  cloud.sh_data().resize(kept * sh_stride);
+  return n - kept;
+}
+
+}  // namespace gstg

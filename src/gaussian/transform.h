@@ -1,0 +1,33 @@
+// Cloud-level editing operations a downstream user needs to compose and
+// prepare scenes: rigid transforms, uniform scaling, concatenation and
+// opacity pruning (the training-free compression baseline the paper's
+// related-work section contrasts against).
+#pragma once
+
+#include "gaussian/cloud.h"
+#include "geometry/mat.h"
+#include "geometry/quaternion.h"
+
+namespace gstg {
+
+/// Applies a rigid transform (rotation then translation) to every Gaussian:
+/// positions move, orientations compose, scales are untouched. SH
+/// coefficients above degree 0 encode view dependence in world axes; they
+/// are left as-is (exact for degree 0, approximate otherwise — documented
+/// library behaviour matching common 3D-GS editors).
+void apply_rigid_transform(GaussianCloud& cloud, const Quat& rotation, Vec3 translation);
+
+/// Uniformly scales the scene about the origin: positions and scales
+/// multiply by `factor` (> 0).
+void apply_uniform_scale(GaussianCloud& cloud, float factor);
+
+/// Appends all Gaussians of `extra` to `cloud`. Throws std::invalid_argument
+/// on SH degree mismatch.
+void concatenate(GaussianCloud& cloud, const GaussianCloud& extra);
+
+/// Removes Gaussians with opacity below `threshold`; returns the number
+/// removed. This is the pruning baseline (LightGaussian-style) — lossy,
+/// unlike GS-TG.
+std::size_t prune_by_opacity(GaussianCloud& cloud, float threshold);
+
+}  // namespace gstg

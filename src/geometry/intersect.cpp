@@ -1,0 +1,124 @@
+#include "geometry/intersect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gstg {
+
+const char* to_string(Boundary b) {
+  switch (b) {
+    case Boundary::kAabb:
+      return "AABB";
+    case Boundary::kObb:
+      return "OBB";
+    case Boundary::kEllipse:
+      return "Ellipse";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Minimises q(t) = Q.xx*(x(t)-mx)^2 + 2 Q.xy (x(t)-mx)(y(t)-my) + ... along
+/// a horizontal edge y = yc, x in [xa, xb], relative to centre mu.
+float min_on_horizontal_edge(const Sym2& q, Vec2 mu, float yc, float xa, float xb) {
+  const float dy = yc - mu.y;
+  // d/dx [ q.xx (x-mx)^2 + 2 q.xy (x-mx) dy ] = 0  =>  x = mx - q.xy*dy/q.xx
+  float x_star;
+  if (q.xx > 0.0f) {
+    x_star = std::clamp(mu.x - q.xy * dy / q.xx, xa, xb);
+  } else {
+    x_star = xa;  // degenerate: function linear in x; endpoints checked below
+  }
+  const float dx = x_star - mu.x;
+  float best = q.xx * dx * dx + 2.0f * q.xy * dx * dy + q.yy * dy * dy;
+  for (const float xe : {xa, xb}) {
+    const float d = xe - mu.x;
+    best = std::min(best, q.xx * d * d + 2.0f * q.xy * d * dy + q.yy * dy * dy);
+  }
+  return best;
+}
+
+float min_on_vertical_edge(const Sym2& q, Vec2 mu, float xc, float ya, float yb) {
+  const float dx = xc - mu.x;
+  float y_star;
+  if (q.yy > 0.0f) {
+    y_star = std::clamp(mu.y - q.xy * dx / q.yy, ya, yb);
+  } else {
+    y_star = ya;
+  }
+  const float dy = y_star - mu.y;
+  float best = q.xx * dx * dx + 2.0f * q.xy * dx * dy + q.yy * dy * dy;
+  for (const float ye : {ya, yb}) {
+    const float d = ye - mu.y;
+    best = std::min(best, q.xx * dx * dx + 2.0f * q.xy * dx * d + q.yy * d * d);
+  }
+  return best;
+}
+
+}  // namespace
+
+float min_mahalanobis_sq_on_rect(const Sym2& conic, Vec2 mu, const Rect& rect) {
+  if (!rect.valid()) {
+    throw std::invalid_argument("min_mahalanobis_sq_on_rect: invalid rect");
+  }
+  if (rect.contains(mu)) {
+    return 0.0f;  // unconstrained minimum is feasible
+  }
+  // Centre outside: the constrained minimum lies on the boundary.
+  float best = min_on_horizontal_edge(conic, mu, rect.y0, rect.x0, rect.x1);
+  best = std::min(best, min_on_horizontal_edge(conic, mu, rect.y1, rect.x0, rect.x1));
+  best = std::min(best, min_on_vertical_edge(conic, mu, rect.x0, rect.y0, rect.y1));
+  best = std::min(best, min_on_vertical_edge(conic, mu, rect.x1, rect.y0, rect.y1));
+  return best;
+}
+
+bool aabb_intersects(const Ellipse& e, const Rect& rect) {
+  return e.aabb().overlaps(rect);
+}
+
+bool obb_intersects(const Obb& obb, const Rect& rect) {
+  // Separating axis test. Candidate axes: the rect's x/y axes and the OBB's
+  // two axes. Project both shapes on each axis; disjoint intervals on any
+  // axis => no intersection.
+  const Vec2 rc = rect.center();
+  const float rhx = 0.5f * rect.width();
+  const float rhy = 0.5f * rect.height();
+  const Vec2 d = obb.center - rc;
+
+  // Rect axes (x and y): OBB projection radius is |a1.x|*h1 + |a2.x|*h2 etc.
+  const float obb_rx = std::fabs(obb.axis1.x) * obb.half1 + std::fabs(obb.axis2.x) * obb.half2;
+  if (std::fabs(d.x) > rhx + obb_rx) return false;
+  const float obb_ry = std::fabs(obb.axis1.y) * obb.half1 + std::fabs(obb.axis2.y) * obb.half2;
+  if (std::fabs(d.y) > rhy + obb_ry) return false;
+
+  // OBB axes: rect projection radius is rhx*|axis.x| + rhy*|axis.y|.
+  const float proj1 = std::fabs(dot(d, obb.axis1));
+  const float rect_r1 = rhx * std::fabs(obb.axis1.x) + rhy * std::fabs(obb.axis1.y);
+  if (proj1 > obb.half1 + rect_r1) return false;
+
+  const float proj2 = std::fabs(dot(d, obb.axis2));
+  const float rect_r2 = rhx * std::fabs(obb.axis2.x) + rhy * std::fabs(obb.axis2.y);
+  if (proj2 > obb.half2 + rect_r2) return false;
+
+  return true;
+}
+
+bool ellipse_intersects(const Ellipse& e, const Rect& rect) {
+  return min_mahalanobis_sq_on_rect(e.conic, e.center, rect) <= e.rho;
+}
+
+bool footprint_intersects(Boundary method, const Ellipse& e, const Rect& rect) {
+  switch (method) {
+    case Boundary::kAabb:
+      return aabb_intersects(e, rect);
+    case Boundary::kObb:
+      return obb_intersects(Obb::from_ellipse(e), rect);
+    case Boundary::kEllipse:
+      return ellipse_intersects(e, rect);
+  }
+  return false;
+}
+
+}  // namespace gstg

@@ -1,0 +1,46 @@
+// Splat-footprint vs tile-rectangle intersection tests: the three boundary
+// methods the paper compares (Fig. 2) —
+//   AABB    (original 3D-GS):  axis-aligned box of the ellipse
+//   OBB     (GSCore):          oriented box aligned with the ellipse axes
+//   Ellipse (FlashGS):         exact elliptical boundary
+// Each refines the previous one: tiles(Ellipse) ⊆ tiles(OBB) ⊆ tiles(AABB);
+// a property test asserts this chain.
+#pragma once
+
+#include "geometry/ellipse.h"
+#include "geometry/rect.h"
+
+namespace gstg {
+
+/// Boundary method used for tile / group identification and for the GS-TG
+/// bitmask generation step.
+enum class Boundary {
+  kAabb,
+  kObb,
+  kEllipse,
+};
+
+const char* to_string(Boundary b);
+
+/// Exact minimum of the convex quadratic (p-mu)^T Q (p-mu) over an
+/// axis-aligned rectangle. Q must be symmetric positive definite. The minimum
+/// of a convex function over a box is attained at the unconstrained minimum
+/// (the centre, if inside) or on one of the four edges, where the restriction
+/// is a 1-D quadratic minimised in closed form with clamping.
+float min_mahalanobis_sq_on_rect(const Sym2& conic, Vec2 mu, const Rect& rect);
+
+/// AABB test: does the ellipse's axis-aligned bounding box overlap the rect.
+bool aabb_intersects(const Ellipse& e, const Rect& rect);
+
+/// OBB test: separating-axis test between the ellipse's oriented bounding box
+/// and the (axis-aligned) rect.
+bool obb_intersects(const Obb& obb, const Rect& rect);
+
+/// Exact test: min Mahalanobis distance over the rect vs rho.
+bool ellipse_intersects(const Ellipse& e, const Rect& rect);
+
+/// Dispatch on the boundary method. For kObb the OBB is derived on the fly;
+/// hot loops should precompute it (see render/binning.cpp).
+bool footprint_intersects(Boundary method, const Ellipse& e, const Rect& rect);
+
+}  // namespace gstg

@@ -1,0 +1,42 @@
+#include "geometry/mat.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gstg {
+
+Mat3 inverse(const Mat3& a) {
+  const float det = a.determinant();
+  if (std::fabs(det) < 1e-20f) {
+    throw std::domain_error("Mat3 inverse: singular matrix");
+  }
+  const float inv_det = 1.0f / det;
+  Mat3 r;
+  r.m[0][0] = (a.m[1][1] * a.m[2][2] - a.m[1][2] * a.m[2][1]) * inv_det;
+  r.m[0][1] = (a.m[0][2] * a.m[2][1] - a.m[0][1] * a.m[2][2]) * inv_det;
+  r.m[0][2] = (a.m[0][1] * a.m[1][2] - a.m[0][2] * a.m[1][1]) * inv_det;
+  r.m[1][0] = (a.m[1][2] * a.m[2][0] - a.m[1][0] * a.m[2][2]) * inv_det;
+  r.m[1][1] = (a.m[0][0] * a.m[2][2] - a.m[0][2] * a.m[2][0]) * inv_det;
+  r.m[1][2] = (a.m[0][2] * a.m[1][0] - a.m[0][0] * a.m[1][2]) * inv_det;
+  r.m[2][0] = (a.m[1][0] * a.m[2][1] - a.m[1][1] * a.m[2][0]) * inv_det;
+  r.m[2][1] = (a.m[0][1] * a.m[2][0] - a.m[0][0] * a.m[2][1]) * inv_det;
+  r.m[2][2] = (a.m[0][0] * a.m[1][1] - a.m[0][1] * a.m[1][0]) * inv_det;
+  return r;
+}
+
+Mat4 rigid_inverse(const Mat4& a) {
+  // [R t; 0 1]^-1 = [R^T -R^T t; 0 1]
+  const Mat3 rt = a.rotation_block().transposed();
+  const Vec3 t{a.m[0][3], a.m[1][3], a.m[2][3]};
+  const Vec3 nt = -(rt * t);
+  Mat4 r = Mat4::identity();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) r.m[i][j] = rt.m[i][j];
+  }
+  r.m[0][3] = nt.x;
+  r.m[1][3] = nt.y;
+  r.m[2][3] = nt.z;
+  return r;
+}
+
+}  // namespace gstg

@@ -1,0 +1,112 @@
+// Row-major 3x3 and 4x4 matrices for the camera/projection pipeline.
+#pragma once
+
+#include <array>
+
+#include "geometry/vec.h"
+
+namespace gstg {
+
+struct Mat3 {
+  // m[row][col]
+  std::array<std::array<float, 3>, 3> m{};
+
+  static constexpr Mat3 identity() {
+    Mat3 r;
+    r.m[0][0] = r.m[1][1] = r.m[2][2] = 1.0f;
+    return r;
+  }
+
+  constexpr float& operator()(int row, int col) { return m[row][col]; }
+  constexpr float operator()(int row, int col) const { return m[row][col]; }
+
+  constexpr Vec3 operator*(Vec3 v) const {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+  }
+
+  constexpr Mat3 operator*(const Mat3& o) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        float s = 0.0f;
+        for (int k = 0; k < 3; ++k) s += m[i][k] * o.m[k][j];
+        r.m[i][j] = s;
+      }
+    }
+    return r;
+  }
+
+  constexpr Mat3 transposed() const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[j][i];
+    }
+    return r;
+  }
+
+  constexpr float determinant() const {
+    return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+           m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+           m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+  }
+};
+
+struct Mat4 {
+  std::array<std::array<float, 4>, 4> m{};
+
+  static constexpr Mat4 identity() {
+    Mat4 r;
+    r.m[0][0] = r.m[1][1] = r.m[2][2] = r.m[3][3] = 1.0f;
+    return r;
+  }
+
+  constexpr float& operator()(int row, int col) { return m[row][col]; }
+  constexpr float operator()(int row, int col) const { return m[row][col]; }
+
+  constexpr Vec4 operator*(Vec4 v) const {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z + m[0][3] * v.w,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z + m[1][3] * v.w,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z + m[2][3] * v.w,
+            m[3][0] * v.x + m[3][1] * v.y + m[3][2] * v.z + m[3][3] * v.w};
+  }
+
+  constexpr Mat4 operator*(const Mat4& o) const {
+    Mat4 r;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        float s = 0.0f;
+        for (int k = 0; k < 4; ++k) s += m[i][k] * o.m[k][j];
+        r.m[i][j] = s;
+      }
+    }
+    return r;
+  }
+
+  /// Upper-left 3x3 block (rotation part of a rigid transform).
+  constexpr Mat3 rotation_block() const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[i][j];
+    }
+    return r;
+  }
+
+  /// Transforms a point (w = 1) and drops the homogeneous coordinate without
+  /// dividing — valid for rigid transforms where the last row is (0,0,0,1).
+  constexpr Vec3 transform_point(Vec3 p) const {
+    return {m[0][0] * p.x + m[0][1] * p.y + m[0][2] * p.z + m[0][3],
+            m[1][0] * p.x + m[1][1] * p.y + m[1][2] * p.z + m[1][3],
+            m[2][0] * p.x + m[2][1] * p.y + m[2][2] * p.z + m[2][3]};
+  }
+};
+
+/// General 3x3 inverse via the adjugate. Throws nothing; caller must ensure
+/// the matrix is non-singular (checked in debug tests).
+Mat3 inverse(const Mat3& a);
+
+/// Inverse of a rigid transform (rotation + translation) — exact and cheap.
+Mat4 rigid_inverse(const Mat4& a);
+
+}  // namespace gstg

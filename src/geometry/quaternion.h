@@ -1,0 +1,79 @@
+// Unit quaternion -> rotation matrix, matching the 3D-GS checkpoint
+// convention (w, x, y, z storage order as in the INRIA reference code).
+#pragma once
+
+#include <cmath>
+
+#include "geometry/mat.h"
+#include "geometry/vec.h"
+
+namespace gstg {
+
+struct Quat {
+  float w = 1.0f;
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr bool operator==(const Quat&) const = default;
+};
+
+inline float length(Quat q) {
+  return std::sqrt(q.w * q.w + q.x * q.x + q.y * q.y + q.z * q.z);
+}
+
+inline Quat normalized(Quat q) {
+  const float len = length(q);
+  if (len <= 0.0f) return Quat{};  // identity for degenerate input
+  return {q.w / len, q.x / len, q.y / len, q.z / len};
+}
+
+/// Rotation matrix of a (not necessarily normalised) quaternion; the input is
+/// normalised first, as the 3D-GS reference implementation does for raw
+/// checkpoint values.
+inline Mat3 rotation_matrix(Quat q) {
+  q = normalized(q);
+  const float w = q.w, x = q.x, y = q.y, z = q.z;
+  Mat3 r;
+  r.m[0] = {1.0f - 2.0f * (y * y + z * z), 2.0f * (x * y - w * z), 2.0f * (x * z + w * y)};
+  r.m[1] = {2.0f * (x * y + w * z), 1.0f - 2.0f * (x * x + z * z), 2.0f * (y * z - w * x)};
+  r.m[2] = {2.0f * (x * z - w * y), 2.0f * (y * z + w * x), 1.0f - 2.0f * (x * x + y * y)};
+  return r;
+}
+
+/// Axis-angle constructor (axis need not be unit length).
+inline Quat from_axis_angle(Vec3 axis, float radians) {
+  const Vec3 a = normalized(axis);
+  const float half = radians * 0.5f;
+  const float s = std::sin(half);
+  return {std::cos(half), a.x * s, a.y * s, a.z * s};
+}
+
+/// Quaternion for the rotation whose columns are the orthonormal basis
+/// (x_axis, y_axis, z_axis) — Shepperd's method, branch on the largest
+/// diagonal term for numerical stability. Used by the scene synthesiser to
+/// orient splats along surface tangent frames.
+inline Quat from_basis(Vec3 x_axis, Vec3 y_axis, Vec3 z_axis) {
+  // Rotation matrix with the basis vectors as columns.
+  const float m00 = x_axis.x, m01 = y_axis.x, m02 = z_axis.x;
+  const float m10 = x_axis.y, m11 = y_axis.y, m12 = z_axis.y;
+  const float m20 = x_axis.z, m21 = y_axis.z, m22 = z_axis.z;
+  const float trace = m00 + m11 + m22;
+  Quat q;
+  if (trace > 0.0f) {
+    const float s = std::sqrt(trace + 1.0f) * 2.0f;
+    q = {0.25f * s, (m21 - m12) / s, (m02 - m20) / s, (m10 - m01) / s};
+  } else if (m00 > m11 && m00 > m22) {
+    const float s = std::sqrt(1.0f + m00 - m11 - m22) * 2.0f;
+    q = {(m21 - m12) / s, 0.25f * s, (m01 + m10) / s, (m02 + m20) / s};
+  } else if (m11 > m22) {
+    const float s = std::sqrt(1.0f + m11 - m00 - m22) * 2.0f;
+    q = {(m02 - m20) / s, (m01 + m10) / s, 0.25f * s, (m12 + m21) / s};
+  } else {
+    const float s = std::sqrt(1.0f + m22 - m00 - m11) * 2.0f;
+    q = {(m10 - m01) / s, (m02 + m20) / s, (m12 + m21) / s, 0.25f * s};
+  }
+  return normalized(q);
+}
+
+}  // namespace gstg

@@ -1,0 +1,62 @@
+// Axis-aligned rectangles in pixel space, plus the integer tile-range type
+// the binning stages iterate over.
+#pragma once
+
+#include <algorithm>
+
+#include "geometry/vec.h"
+
+namespace gstg {
+
+/// Closed axis-aligned rectangle [x0, x1] x [y0, y1] in pixel coordinates.
+struct Rect {
+  float x0 = 0.0f;
+  float y0 = 0.0f;
+  float x1 = 0.0f;
+  float y1 = 0.0f;
+
+  [[nodiscard]] constexpr bool contains(Vec2 p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+  [[nodiscard]] constexpr float width() const { return x1 - x0; }
+  [[nodiscard]] constexpr float height() const { return y1 - y0; }
+  [[nodiscard]] constexpr Vec2 center() const { return {0.5f * (x0 + x1), 0.5f * (y0 + y1)}; }
+  [[nodiscard]] constexpr bool valid() const { return x1 >= x0 && y1 >= y0; }
+
+  /// Closest point of the rectangle to p (p itself when inside).
+  [[nodiscard]] Vec2 clamp(Vec2 p) const {
+    return {std::clamp(p.x, x0, x1), std::clamp(p.y, y0, y1)};
+  }
+
+  [[nodiscard]] constexpr bool overlaps(const Rect& o) const {
+    return x0 <= o.x1 && o.x0 <= x1 && y0 <= o.y1 && o.y0 <= y1;
+  }
+};
+
+/// Half-open integer range of tiles [tx0, tx1) x [ty0, ty1).
+struct TileRange {
+  int tx0 = 0;
+  int ty0 = 0;
+  int tx1 = 0;
+  int ty1 = 0;
+
+  [[nodiscard]] constexpr bool empty() const { return tx1 <= tx0 || ty1 <= ty0; }
+  [[nodiscard]] constexpr long long count() const {
+    return empty() ? 0 : static_cast<long long>(tx1 - tx0) * (ty1 - ty0);
+  }
+  constexpr bool operator==(const TileRange&) const = default;
+};
+
+/// Pixel rectangle covered by integer tile (tx, ty) with `tile` pixels on a
+/// side, clipped to the image. The rectangle spans the tile's pixel centers'
+/// full extent [tx*tile, (tx+1)*tile).
+inline Rect tile_rect(int tx, int ty, int tile_size, int image_width, int image_height) {
+  Rect r;
+  r.x0 = static_cast<float>(tx * tile_size);
+  r.y0 = static_cast<float>(ty * tile_size);
+  r.x1 = std::min(static_cast<float>((tx + 1) * tile_size), static_cast<float>(image_width));
+  r.y1 = std::min(static_cast<float>((ty + 1) * tile_size), static_cast<float>(image_height));
+  return r;
+}
+
+}  // namespace gstg

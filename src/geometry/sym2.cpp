@@ -1,0 +1,43 @@
+#include "geometry/sym2.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gstg {
+
+Eigen2 eigen_decompose(Sym2 m) {
+  Eigen2 out;
+  const float mid = 0.5f * m.trace();
+  // Guard the radicand: analytically non-negative, but fp rounding can dip below.
+  const float radicand = std::max(0.0f, mid * mid - m.determinant());
+  const float root = std::sqrt(radicand);
+  out.lambda1 = mid + root;
+  out.lambda2 = mid - root;
+
+  // Eigenvector for lambda1: rows of (M - lambda2 I) span it. Pick the larger
+  // of the two candidate directions for numerical stability.
+  const Vec2 c1{m.xx - out.lambda2, m.xy};
+  const Vec2 c2{m.xy, m.yy - out.lambda2};
+  const float n1 = dot(c1, c1);
+  const float n2 = dot(c2, c2);
+  Vec2 axis = n1 >= n2 ? c1 : c2;
+  const float len = length(axis);
+  if (len < 1e-20f) {
+    out.axis1 = {1.0f, 0.0f};  // isotropic: any orthonormal basis works
+  } else {
+    out.axis1 = axis / len;
+  }
+  out.axis2 = perp(out.axis1);
+  return out;
+}
+
+Sym2 inverse(Sym2 m) {
+  const float det = m.determinant();
+  if (det <= 0.0f) {
+    throw std::domain_error("Sym2 inverse: matrix not positive definite");
+  }
+  const float inv_det = 1.0f / det;
+  return {m.yy * inv_det, -m.xy * inv_det, m.xx * inv_det};
+}
+
+}  // namespace gstg

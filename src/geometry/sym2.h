@@ -1,0 +1,45 @@
+// Symmetric 2x2 matrices: the projected (screen-space) Gaussian covariance
+// and its inverse (the "conic"). Provides the eigen decomposition used for
+// OBB axes and screen-space radii.
+#pragma once
+
+#include "geometry/vec.h"
+
+namespace gstg {
+
+/// Symmetric 2x2 matrix [[xx, xy], [xy, yy]].
+struct Sym2 {
+  float xx = 0.0f;
+  float xy = 0.0f;
+  float yy = 0.0f;
+
+  constexpr float determinant() const { return xx * yy - xy * xy; }
+  constexpr float trace() const { return xx + yy; }
+
+  /// Quadratic form d^T M d.
+  constexpr float quad(Vec2 d) const {
+    return xx * d.x * d.x + 2.0f * xy * d.x * d.y + yy * d.y * d.y;
+  }
+
+  constexpr Sym2 operator+(Sym2 o) const { return {xx + o.xx, xy + o.xy, yy + o.yy}; }
+  constexpr Sym2 operator*(float s) const { return {xx * s, xy * s, yy * s}; }
+  constexpr bool operator==(const Sym2&) const = default;
+};
+
+/// Eigenvalues (descending) and unit eigenvectors of a symmetric 2x2 matrix.
+struct Eigen2 {
+  float lambda1 = 0.0f;  ///< larger eigenvalue
+  float lambda2 = 0.0f;  ///< smaller eigenvalue
+  Vec2 axis1;            ///< unit eigenvector for lambda1
+  Vec2 axis2;            ///< unit eigenvector for lambda2 (perpendicular)
+};
+
+/// Closed-form symmetric eigen decomposition. Always returns an orthonormal
+/// pair; for (near-)isotropic input the axes default to the coordinate axes.
+Eigen2 eigen_decompose(Sym2 m);
+
+/// Inverse of a symmetric positive-definite 2x2 matrix. Throws
+/// std::domain_error when the determinant is not positive (degenerate splat).
+Sym2 inverse(Sym2 m);
+
+}  // namespace gstg

@@ -1,0 +1,69 @@
+// Small fixed-size vector types used throughout the renderer.
+//
+// Kept deliberately minimal: only the operations the 3D-GS pipeline needs.
+// All types are aggregates with value semantics.
+#pragma once
+
+#include <cmath>
+
+namespace gstg {
+
+struct Vec2 {
+  float x = 0.0f;
+  float y = 0.0f;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(float s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(float s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  constexpr bool operator==(const Vec2&) const = default;
+};
+
+constexpr float dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+inline float length(Vec2 v) { return std::sqrt(dot(v, v)); }
+/// Perpendicular (rotate +90 degrees).
+constexpr Vec2 perp(Vec2 v) { return {-v.y, v.x}; }
+
+struct Vec3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr bool operator==(const Vec3&) const = default;
+};
+
+constexpr float dot(Vec3 a, Vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+constexpr Vec3 cross(Vec3 a, Vec3 b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+inline float length(Vec3 v) { return std::sqrt(dot(v, v)); }
+inline Vec3 normalized(Vec3 v) {
+  const float len = length(v);
+  return len > 0.0f ? v / len : Vec3{0.0f, 0.0f, 0.0f};
+}
+/// Component-wise product (used for colour modulation).
+constexpr Vec3 hadamard(Vec3 a, Vec3 b) { return {a.x * b.x, a.y * b.y, a.z * b.z}; }
+
+struct Vec4 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+  float w = 0.0f;
+
+  constexpr Vec4 operator+(Vec4 o) const { return {x + o.x, y + o.y, z + o.z, w + o.w}; }
+  constexpr Vec4 operator-(Vec4 o) const { return {x - o.x, y - o.y, z - o.z, w - o.w}; }
+  constexpr Vec4 operator*(float s) const { return {x * s, y * s, z * s, w * s}; }
+  constexpr bool operator==(const Vec4&) const = default;
+};
+
+constexpr float dot(Vec4 a, Vec4 b) { return a.x * b.x + a.y * b.y + a.z * b.z + a.w * b.w; }
+constexpr Vec4 to_homogeneous(Vec3 v) { return {v.x, v.y, v.z, 1.0f}; }
+constexpr Vec3 from_homogeneous(Vec4 v) { return Vec3{v.x, v.y, v.z} / v.w; }
+
+}  // namespace gstg

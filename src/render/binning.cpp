@@ -1,0 +1,95 @@
+#include "render/binning.h"
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/parallel.h"
+
+namespace gstg {
+
+CellGrid CellGrid::over_image(int image_width, int image_height, int cell_size) {
+  if (image_width <= 0 || image_height <= 0 || cell_size <= 0) {
+    throw std::invalid_argument("CellGrid: non-positive dimensions");
+  }
+  CellGrid g;
+  g.cell_size = cell_size;
+  g.image_width = image_width;
+  g.image_height = image_height;
+  g.cells_x = (image_width + cell_size - 1) / cell_size;
+  g.cells_y = (image_height + cell_size - 1) / cell_size;
+  return g;
+}
+
+TileRange candidate_cells(const ProjectedSplat& splat, const CellGrid& grid) {
+  const Rect box = splat.footprint().aabb();
+  TileRange r;
+  r.tx0 = std::max(0, static_cast<int>(std::floor(box.x0 / static_cast<float>(grid.cell_size))));
+  r.ty0 = std::max(0, static_cast<int>(std::floor(box.y0 / static_cast<float>(grid.cell_size))));
+  r.tx1 = std::min(grid.cells_x,
+                   static_cast<int>(std::floor(box.x1 / static_cast<float>(grid.cell_size))) + 1);
+  r.ty1 = std::min(grid.cells_y,
+                   static_cast<int>(std::floor(box.y1 / static_cast<float>(grid.cell_size))) + 1);
+  return r;
+}
+
+BinnedSplats bin_splats(std::span<const ProjectedSplat> splats, const CellGrid& grid,
+                        Boundary boundary, std::size_t threads, RenderCounters& counters) {
+  BinnedSplats out;
+  out.grid = grid;
+  const std::size_t cells = static_cast<std::size_t>(grid.cell_count());
+
+  // Pass 1: per-cell counts (and counter updates) via atomics.
+  std::vector<std::atomic<std::uint32_t>> cell_counts(cells);
+  std::atomic<std::size_t> tests{0}, pairs{0}, multi{0};
+
+  parallel_for_chunks(0, splats.size(), [&](std::size_t lo, std::size_t hi, std::size_t) {
+    std::size_t local_tests = 0, local_pairs = 0, local_multi = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      std::size_t hits = 0;
+      local_tests += for_each_hit_cell(splats[i], grid, boundary, [&](int cell) {
+        cell_counts[static_cast<std::size_t>(cell)].fetch_add(1, std::memory_order_relaxed);
+        ++hits;
+      });
+      local_pairs += hits;
+      if (hits >= 2) ++local_multi;
+    }
+    tests.fetch_add(local_tests, std::memory_order_relaxed);
+    pairs.fetch_add(local_pairs, std::memory_order_relaxed);
+    multi.fetch_add(local_multi, std::memory_order_relaxed);
+  }, threads);
+
+  counters.boundary_tests += tests.load();
+  counters.tile_pairs += pairs.load();
+  counters.splats_multi_tile += multi.load();
+
+  // Prefix sum into CSR offsets.
+  out.offsets.resize(cells + 1);
+  std::uint32_t running = 0;
+  for (std::size_t c = 0; c < cells; ++c) {
+    out.offsets[c] = running;
+    running += cell_counts[c].load(std::memory_order_relaxed);
+  }
+  out.offsets[cells] = running;
+  out.splat_ids.resize(running);
+
+  // Pass 2: scatter. Within-cell order is nondeterministic here, but every
+  // consumer sorts by (depth, index) first, so results are deterministic.
+  std::vector<std::atomic<std::uint32_t>> cursors(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    cursors[c].store(out.offsets[c], std::memory_order_relaxed);
+  }
+  parallel_for_chunks(0, splats.size(), [&](std::size_t lo, std::size_t hi, std::size_t) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for_each_hit_cell(splats[i], grid, boundary, [&](int cell) {
+        const std::uint32_t slot =
+            cursors[static_cast<std::size_t>(cell)].fetch_add(1, std::memory_order_relaxed);
+        out.splat_ids[slot] = static_cast<std::uint32_t>(i);
+      });
+    }
+  }, threads);
+
+  return out;
+}
+
+}  // namespace gstg

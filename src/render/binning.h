@@ -1,0 +1,93 @@
+// Tile identification ("binning"): assigns every projected splat to the
+// grid cells its footprint intersects, using one of the three boundary
+// methods (AABB / OBB / Ellipse). The same routine serves the baseline's
+// tile grid and GS-TG's group grid — a group is just a larger cell.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "render/types.h"
+
+namespace gstg {
+
+/// A uniform grid of square cells covering the image.
+struct CellGrid {
+  int cell_size = 16;
+  int cells_x = 0;
+  int cells_y = 0;
+  int image_width = 0;
+  int image_height = 0;
+
+  static CellGrid over_image(int image_width, int image_height, int cell_size);
+
+  [[nodiscard]] int cell_count() const { return cells_x * cells_y; }
+  [[nodiscard]] int cell_index(int cx, int cy) const { return cy * cells_x + cx; }
+};
+
+/// CSR lists: splats_of_cell(c) = splat_ids[offsets[c] .. offsets[c+1]).
+/// Entries index into the ProjectedSplat vector passed to bin_splats.
+struct BinnedSplats {
+  CellGrid grid;
+  std::vector<std::uint32_t> offsets;    // grid.cell_count() + 1
+  std::vector<std::uint32_t> splat_ids;  // tile_pairs entries
+
+  [[nodiscard]] std::span<const std::uint32_t> cell_list(int cell) const {
+    return {splat_ids.data() + offsets[cell], offsets[cell + 1] - offsets[cell]};
+  }
+  [[nodiscard]] std::size_t cell_size_of(int cell) const {
+    return offsets[cell + 1] - offsets[cell];
+  }
+};
+
+/// Bins splats into grid cells. Candidate cells come from the footprint's
+/// axis-aligned bounding box; OBB/Ellipse refine each candidate (the
+/// GSCore/FlashGS strategy), so tiles(Ellipse) ⊆ tiles(OBB) ⊆ tiles(AABB)
+/// holds by construction. Updates boundary_tests, tile_pairs and
+/// splats_multi_tile in `counters`.
+BinnedSplats bin_splats(std::span<const ProjectedSplat> splats, const CellGrid& grid,
+                        Boundary boundary, std::size_t threads, RenderCounters& counters);
+
+/// Cell range of the footprint's AABB clipped to the grid (exposed for the
+/// bitmask generator, which iterates the same candidates inside a group).
+TileRange candidate_cells(const ProjectedSplat& splat, const CellGrid& grid);
+
+/// Calls visit(cell_index) for every cell the splat's footprint intersects
+/// under `boundary`, enumerating candidates from the AABB range; returns the
+/// number of boundary tests performed. Shared by bin_splats and the global
+/// radix-sort path so both enumerate identical hit sets in identical order.
+template <typename Visit>
+std::size_t for_each_hit_cell(const ProjectedSplat& splat, const CellGrid& grid,
+                              Boundary boundary, Visit&& visit) {
+  const TileRange range = candidate_cells(splat, grid);
+  if (range.empty()) return 0;
+  std::size_t tests = 0;
+
+  if (boundary == Boundary::kAabb) {
+    // The AABB method *is* the candidate enumeration: every cell overlapping
+    // the bounding box is a hit. Each candidate still costs one range check.
+    for (int cy = range.ty0; cy < range.ty1; ++cy) {
+      for (int cx = range.tx0; cx < range.tx1; ++cx) {
+        ++tests;
+        visit(grid.cell_index(cx, cy));
+      }
+    }
+    return tests;
+  }
+
+  const Ellipse footprint = splat.footprint();
+  const Obb obb = Obb::from_ellipse(footprint);  // used by kObb only
+  for (int cy = range.ty0; cy < range.ty1; ++cy) {
+    for (int cx = range.tx0; cx < range.tx1; ++cx) {
+      const Rect rect = tile_rect(cx, cy, grid.cell_size, grid.image_width, grid.image_height);
+      ++tests;
+      const bool hit = boundary == Boundary::kObb ? obb_intersects(obb, rect)
+                                                  : ellipse_intersects(footprint, rect);
+      if (hit) visit(grid.cell_index(cx, cy));
+    }
+  }
+  return tests;
+}
+
+}  // namespace gstg

@@ -1,0 +1,63 @@
+#include "render/framebuffer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace gstg {
+
+Framebuffer::Framebuffer(int width, int height) : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("Framebuffer: non-positive size");
+  }
+  pixels_.assign(static_cast<std::size_t>(width) * height, Vec3{});
+}
+
+void Framebuffer::write_ppm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("Framebuffer: cannot open " + path);
+  out << "P6\n" << width_ << " " << height_ << "\n255\n";
+  std::vector<unsigned char> row(static_cast<std::size_t>(width_) * 3);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const Vec3& c = at(x, y);
+      row[3 * x + 0] = static_cast<unsigned char>(std::clamp(c.x, 0.0f, 1.0f) * 255.0f + 0.5f);
+      row[3 * x + 1] = static_cast<unsigned char>(std::clamp(c.y, 0.0f, 1.0f) * 255.0f + 0.5f);
+      row[3 * x + 2] = static_cast<unsigned char>(std::clamp(c.z, 0.0f, 1.0f) * 255.0f + 0.5f);
+    }
+    out.write(reinterpret_cast<const char*>(row.data()), static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) throw std::runtime_error("Framebuffer: write failure for " + path);
+}
+
+float max_abs_diff(const Framebuffer& a, const Framebuffer& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("max_abs_diff: size mismatch");
+  }
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+    worst = std::max({worst, std::fabs(a.pixels()[i].x - b.pixels()[i].x),
+                      std::fabs(a.pixels()[i].y - b.pixels()[i].y),
+                      std::fabs(a.pixels()[i].z - b.pixels()[i].z)});
+  }
+  return worst;
+}
+
+double psnr(const Framebuffer& a, const Framebuffer& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("psnr: size mismatch");
+  }
+  double mse = 0.0;
+  for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+    const Vec3 d = a.pixels()[i] - b.pixels()[i];
+    mse += static_cast<double>(d.x) * d.x + static_cast<double>(d.y) * d.y +
+           static_cast<double>(d.z) * d.z;
+  }
+  mse /= static_cast<double>(a.pixels().size()) * 3.0;
+  if (mse <= 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(1.0 / mse);
+}
+
+}  // namespace gstg

@@ -1,0 +1,42 @@
+// Linear-RGB framebuffer with PPM export and image-difference metrics
+// (used by the lossless-equality tests and the fp16-fidelity experiment).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/vec.h"
+
+namespace gstg {
+
+class Framebuffer {
+ public:
+  Framebuffer(int width, int height);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+  [[nodiscard]] Vec3& at(int x, int y) { return pixels_[static_cast<std::size_t>(y) * width_ + x]; }
+  [[nodiscard]] const Vec3& at(int x, int y) const {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  [[nodiscard]] const std::vector<Vec3>& pixels() const { return pixels_; }
+  std::vector<Vec3>& pixels() { return pixels_; }
+
+  /// Writes an 8-bit binary PPM (P6). Values are clamped to [0,1]; no gamma.
+  void write_ppm(const std::string& path) const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<Vec3> pixels_;
+};
+
+/// Maximum absolute channel difference between two images of equal size.
+float max_abs_diff(const Framebuffer& a, const Framebuffer& b);
+
+/// PSNR in dB against peak 1.0; returns +inf for identical images.
+double psnr(const Framebuffer& a, const Framebuffer& b);
+
+}  // namespace gstg

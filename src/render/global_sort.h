@@ -1,0 +1,35 @@
+// GPU-style global duplicated-key sorting.
+//
+// The author-released 3D-GS renderer does not sort each tile list
+// separately: it emits one (tile_id | depth) 64-bit key per (tile, splat)
+// pair and radix-sorts the whole array once, then slices it into per-tile
+// ranges. This module implements that execution model as an alternative to
+// render/sort.h, both to complete the substrate (the paper's GPU baselines
+// run exactly this way) and to serve as an ablation: per-tile comparison
+// sort vs global radix sort produce identical tile sequences.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "render/binning.h"
+#include "render/types.h"
+
+namespace gstg {
+
+/// 64-bit duplicated key: cell index in the high 32 bits, the depth's
+/// monotonic bit pattern in the low 32. Sorting keys ascending groups pairs
+/// by cell and orders each cell front-to-back.
+std::uint64_t make_depth_key(std::uint32_t cell, float depth);
+
+/// Bins splats and orders every cell list by one global LSD radix sort over
+/// the duplicated keys (the reference implementation's pipeline). Returns
+/// CSR lists identical — including order — to bin_splats + sort_cell_lists
+/// with the same boundary, because the radix sort is stable and pairs are
+/// emitted in splat-index order. Counter semantics match the two-step path;
+/// sort_comparison_volume accounts radix passes as pairs * passes.
+BinnedSplats global_sorted_binning(std::span<const ProjectedSplat> splats, const CellGrid& grid,
+                                   Boundary boundary, std::size_t threads,
+                                   RenderCounters& counters);
+
+}  // namespace gstg

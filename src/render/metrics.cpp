@@ -1,0 +1,94 @@
+#include "render/metrics.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace gstg {
+
+namespace {
+
+constexpr int kWindow = 8;
+constexpr int kStride = 4;
+constexpr double kC1 = 0.01 * 0.01;
+constexpr double kC2 = 0.03 * 0.03;
+
+std::vector<double> luminance(const Framebuffer& image) {
+  std::vector<double> out(image.pixels().size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Vec3& p = image.pixels()[i];
+    out[i] = 0.299 * p.x + 0.587 * p.y + 0.114 * p.z;
+  }
+  return out;
+}
+
+}  // namespace
+
+double ssim(const Framebuffer& a, const Framebuffer& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("ssim: size mismatch");
+  }
+  if (a.width() < kWindow || a.height() < kWindow) {
+    throw std::invalid_argument("ssim: image smaller than the SSIM window");
+  }
+  const std::vector<double> la = luminance(a);
+  const std::vector<double> lb = luminance(b);
+  const int w = a.width(), h = a.height();
+
+  double total = 0.0;
+  std::size_t windows = 0;
+  for (int y0 = 0; y0 + kWindow <= h; y0 += kStride) {
+    for (int x0 = 0; x0 + kWindow <= w; x0 += kStride) {
+      double mean_a = 0.0, mean_b = 0.0;
+      for (int y = y0; y < y0 + kWindow; ++y) {
+        for (int x = x0; x < x0 + kWindow; ++x) {
+          mean_a += la[static_cast<std::size_t>(y) * w + x];
+          mean_b += lb[static_cast<std::size_t>(y) * w + x];
+        }
+      }
+      constexpr double kN = kWindow * kWindow;
+      mean_a /= kN;
+      mean_b /= kN;
+      double var_a = 0.0, var_b = 0.0, cov = 0.0;
+      for (int y = y0; y < y0 + kWindow; ++y) {
+        for (int x = x0; x < x0 + kWindow; ++x) {
+          const double da = la[static_cast<std::size_t>(y) * w + x] - mean_a;
+          const double db = lb[static_cast<std::size_t>(y) * w + x] - mean_b;
+          var_a += da * da;
+          var_b += db * db;
+          cov += da * db;
+        }
+      }
+      var_a /= kN - 1;
+      var_b /= kN - 1;
+      cov /= kN - 1;
+      const double num = (2.0 * mean_a * mean_b + kC1) * (2.0 * cov + kC2);
+      const double den = (mean_a * mean_a + mean_b * mean_b + kC1) * (var_a + var_b + kC2);
+      total += num / den;
+      ++windows;
+    }
+  }
+  return total / static_cast<double>(windows);
+}
+
+ChannelPsnr channel_psnr(const Framebuffer& a, const Framebuffer& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("channel_psnr: size mismatch");
+  }
+  double mse[3] = {0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+    const Vec3 d = a.pixels()[i] - b.pixels()[i];
+    mse[0] += static_cast<double>(d.x) * d.x;
+    mse[1] += static_cast<double>(d.y) * d.y;
+    mse[2] += static_cast<double>(d.z) * d.z;
+  }
+  const double n = static_cast<double>(a.pixels().size());
+  const auto to_db = [n](double m) {
+    m /= n;
+    return m <= 0.0 ? std::numeric_limits<double>::infinity() : 10.0 * std::log10(1.0 / m);
+  };
+  return {to_db(mse[0]), to_db(mse[1]), to_db(mse[2])};
+}
+
+}  // namespace gstg

@@ -1,0 +1,25 @@
+// Image-quality metrics beyond plain PSNR: windowed SSIM on luminance,
+// used by the fp16-fidelity experiment (DESIGN.md section 6) and available
+// to library users validating lossless claims on real checkpoints.
+#pragma once
+
+#include "render/framebuffer.h"
+
+namespace gstg {
+
+/// Mean SSIM over 8x8 windows (stride 4) on Rec.601 luminance, standard
+/// constants C1 = (0.01)^2 and C2 = (0.03)^2 with a peak of 1.0. Returns a
+/// value in [-1, 1]; identical images score exactly 1. Throws
+/// std::invalid_argument on size mismatch or images smaller than a window.
+double ssim(const Framebuffer& a, const Framebuffer& b);
+
+/// Per-channel PSNR (dB against peak 1.0); returns +inf for identical
+/// channels.
+struct ChannelPsnr {
+  double r = 0.0;
+  double g = 0.0;
+  double b = 0.0;
+};
+ChannelPsnr channel_psnr(const Framebuffer& a, const Framebuffer& b);
+
+}  // namespace gstg

@@ -1,0 +1,57 @@
+#include "render/preprocess.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "camera/ewa.h"
+#include "common/parallel.h"
+#include "gaussian/sh.h"
+
+namespace gstg {
+
+std::vector<ProjectedSplat> preprocess(const GaussianCloud& cloud, const Camera& camera,
+                                       const RenderConfig& config, RenderCounters& counters) {
+  const std::size_t n = cloud.size();
+  counters.input_gaussians += n;
+
+  // Slot-per-input so workers never contend; compacted afterwards.
+  std::vector<ProjectedSplat> slots(n);
+  std::vector<std::uint8_t> keep(n, 0);
+  const Vec3 cam_pos = camera.position();
+
+  parallel_for_chunks(0, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Vec3 view = camera.to_view(cloud.position(i));
+      if (!camera.in_frustum(view)) continue;
+
+      const float opacity = cloud.opacity(i);
+      if (opacity < kAlphaThreshold) continue;  // can never contribute
+
+      Sym2 cov = project_covariance(camera, cloud.covariance3d(i), view);
+      if (cov.determinant() <= 0.0f) continue;  // numerically degenerate
+
+      ProjectedSplat s;
+      s.center = camera.view_to_pixel(view);
+      s.cov = cov;
+      s.conic = inverse(cov);
+      s.depth = view.z;
+      s.opacity = opacity;
+      s.rho = config.opacity_aware_rho ? opacity_aware_rho(opacity) : kThreeSigmaRho;
+      if (s.rho <= 0.0f) continue;
+      s.rgb = eval_sh_color(cloud.sh_degree(), cloud.sh(i), normalized(cloud.position(i) - cam_pos));
+      s.index = static_cast<std::uint32_t>(i);
+      slots[i] = s;
+      keep[i] = 1;
+    }
+  }, config.threads);
+
+  std::vector<ProjectedSplat> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keep[i]) out.push_back(slots[i]);
+  }
+  counters.visible_gaussians += out.size();
+  return out;
+}
+
+}  // namespace gstg

@@ -1,0 +1,26 @@
+// Preprocessing stage: per-Gaussian feature computation and culling
+// (paper Fig. 1, left). Produces the ProjectedSplat stream consumed by
+// binning, sorting and rasterization.
+#pragma once
+
+#include <vector>
+
+#include "camera/camera.h"
+#include "gaussian/cloud.h"
+#include "render/types.h"
+
+namespace gstg {
+
+/// Projects and culls the cloud for `camera`:
+///  - frustum-culls by view-space centre (near plane + guard band),
+///  - computes depth, 2D mean, EWA 2D covariance (+0.3 dilation), conic,
+///  - evaluates the SH colour for the camera->splat direction,
+///  - assigns the footprint extent rho (3-sigma or opacity-aware),
+///  - drops splats with degenerate covariance or opacity below 1/255.
+/// Output order equals cloud order (restricted to survivors), making all
+/// downstream stages deterministic. Updates `counters.input_gaussians` and
+/// `counters.visible_gaussians`.
+std::vector<ProjectedSplat> preprocess(const GaussianCloud& cloud, const Camera& camera,
+                                       const RenderConfig& config, RenderCounters& counters);
+
+}  // namespace gstg

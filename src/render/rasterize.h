@@ -1,0 +1,36 @@
+// Tile-wise rasterization: alpha computation (paper eq. 1) and front-to-back
+// alpha blending (eq. 2) with the 1/255 alpha skip and 1e-4 transmittance
+// early exit. The single-tile routine is shared by the baseline pipeline
+// (per-tile sorted lists) and GS-TG (group-sorted list filtered by bitmask).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "render/binning.h"
+#include "render/framebuffer.h"
+#include "render/types.h"
+
+namespace gstg {
+
+/// Per-tile rasterization statistics (merged into RenderCounters).
+struct TileRasterStats {
+  std::size_t alpha_computations = 0;
+  std::size_t blend_ops = 0;
+  std::size_t early_exit_pixels = 0;
+  std::size_t pixel_list_work = 0;
+  std::size_t pixels = 0;
+};
+
+/// Rasterizes the depth-ordered splat sequence `order` into the pixel block
+/// [x0, x1) x [y0, y1) of `fb` (block must lie inside the framebuffer).
+/// Pixel centres are at integer + 0.5. Returns the work statistics.
+TileRasterStats rasterize_tile(std::span<const ProjectedSplat> splats,
+                               std::span<const std::uint32_t> order, int x0, int y0, int x1,
+                               int y1, Framebuffer& fb);
+
+/// Baseline full-image rasterization over per-tile sorted lists.
+void rasterize_all(const BinnedSplats& bins, std::span<const ProjectedSplat> splats,
+                   Framebuffer& fb, std::size_t threads, RenderCounters& counters);
+
+}  // namespace gstg

@@ -1,0 +1,48 @@
+#include "render/sort.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace gstg {
+
+void sort_cell_lists(BinnedSplats& bins, std::span<const ProjectedSplat> splats,
+                     std::size_t threads, RenderCounters& counters) {
+  const std::size_t cells = static_cast<std::size_t>(bins.grid.cell_count());
+
+  // Per-worker accumulators (workers get distinct indices from
+  // parallel_for_chunks, so the slots never alias).
+  constexpr std::size_t kMaxWorkers = 256;
+  std::vector<double> volume_per_worker(kMaxWorkers, 0.0);
+  std::vector<std::size_t> pairs_per_worker(kMaxWorkers, 0);
+
+  parallel_for_chunks(0, cells, [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+    double local_volume = 0.0;
+    std::size_t local_pairs = 0;
+    for (std::size_t c = lo; c < hi; ++c) {
+      auto* begin = bins.splat_ids.data() + bins.offsets[c];
+      auto* end = bins.splat_ids.data() + bins.offsets[c + 1];
+      const std::size_t n = static_cast<std::size_t>(end - begin);
+      if (n > 1) {
+        std::sort(begin, end, [&](std::uint32_t a, std::uint32_t b) {
+          const float da = splats[a].depth, db = splats[b].depth;
+          if (da != db) return da < db;
+          return splats[a].index < splats[b].index;
+        });
+        local_volume += static_cast<double>(n) * std::log2(static_cast<double>(n));
+      }
+      local_pairs += n;
+    }
+    volume_per_worker[worker % kMaxWorkers] += local_volume;
+    pairs_per_worker[worker % kMaxWorkers] += local_pairs;
+  }, threads);
+
+  for (std::size_t w = 0; w < kMaxWorkers; ++w) {
+    counters.sort_comparison_volume += volume_per_worker[w];
+    counters.sort_pairs += pairs_per_worker[w];
+  }
+}
+
+}  // namespace gstg

@@ -1,0 +1,19 @@
+// Tile-wise (or group-wise) depth sorting: orders every cell's splat list
+// front-to-back. The per-cell list sizes are the paper's "redundant sorting"
+// quantity — a splat in k cells is sorted k times.
+#pragma once
+
+#include <span>
+
+#include "render/binning.h"
+#include "render/types.h"
+
+namespace gstg {
+
+/// Sorts each cell list of `bins` in place by (depth, original index)
+/// ascending — the index tiebreak makes the order total and deterministic.
+/// Accumulates sort_pairs and sort_comparison_volume into `counters`.
+void sort_cell_lists(BinnedSplats& bins, std::span<const ProjectedSplat> splats,
+                     std::size_t threads, RenderCounters& counters);
+
+}  // namespace gstg

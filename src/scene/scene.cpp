@@ -1,0 +1,349 @@
+#include "scene/scene.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace gstg {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+const std::vector<SceneInfo>& scene_table() {
+  // Resolutions from paper Table II; Gaussian counts are the published
+  // 30k-iteration checkpoint sizes (approximate for Mill-19/UrbanScene3D,
+  // where only model classes are public).
+  static const std::vector<SceneInfo> scenes = {
+      {"train", "Tanks&Temples", 1959, 1090, SceneKind::kOutdoorStreet, 1'030'000},
+      {"truck", "Tanks&Temples", 1957, 1091, SceneKind::kOutdoorStreet, 2'540'000},
+      {"drjohnson", "Deep Blending", 1332, 876, SceneKind::kIndoorRoom, 3'270'000},
+      {"playroom", "Deep Blending", 1264, 832, SceneKind::kIndoorRoom, 2'340'000},
+      {"rubble", "Mill-19", 4608, 3456, SceneKind::kAerial, 4'000'000},
+      {"residence", "UrbanScene3D", 5472, 3648, SceneKind::kAerial, 5'600'000},
+  };
+  return scenes;
+}
+
+/// Anisotropy recipe for surface splats.
+struct SplatShape {
+  float tangent_factor = 0.9f;  ///< mean tangent scale relative to splat spacing
+  float tangent_sigma = 0.45f;  ///< log-normal spread of tangent scales
+  float normal_ratio = 0.15f;   ///< normal-direction scale relative to tangent
+};
+
+/// Emits `count` surface-aligned splats over a rectangular patch centred at
+/// `center`, spanned by (unit-ish) tangents t1/t2 with the given half
+/// extents. Splat spacing — and therefore splat world size — adapts to the
+/// count, which keeps *screen-space* statistics invariant under the
+/// RunScale divisors (see DESIGN.md section 5).
+void emit_patch(GaussianCloud& cloud, Rng& rng, Vec3 center, Vec3 t1, Vec3 t2, float half1,
+                float half2, std::size_t count, Vec3 base_color, const SplatShape& shape) {
+  if (count == 0) return;
+  t1 = normalized(t1);
+  t2 = normalized(t2 - t1 * dot(t1, t2));  // orthogonalise
+  const Vec3 n = cross(t1, t2);
+  const float area = 4.0f * half1 * half2;
+  const float spacing = std::sqrt(area / static_cast<float>(count));
+
+  const std::size_t n_coeff = sh_coeff_count(cloud.sh_degree());
+  std::vector<float> sh(3 * n_coeff, 0.0f);
+  constexpr float kY0 = 0.28209479177387814f;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const float u = rng.uniform(-half1, half1);
+    const float v = rng.uniform(-half2, half2);
+    const float bump = rng.normal(0.0f, 0.15f * spacing);
+    const Vec3 pos = center + t1 * u + t2 * v + n * bump;
+
+    // Tangent frame rotated by a random in-plane angle, slightly tilted.
+    const float angle = rng.uniform(0.0f, 2.0f * kPi);
+    const float ca = std::cos(angle), sa = std::sin(angle);
+    Vec3 a1 = t1 * ca + t2 * sa;
+    Vec3 a2 = t1 * (-sa) + t2 * ca;
+    const float tilt = rng.normal(0.0f, 0.12f);
+    a1 = normalized(a1 + n * tilt);
+    a2 = normalized(a2 - a1 * dot(a1, a2));
+    const Vec3 a3 = cross(a1, a2);
+
+    const float s1 = spacing * shape.tangent_factor * rng.log_normal(0.0f, shape.tangent_sigma);
+    const float s2 = spacing * shape.tangent_factor * rng.log_normal(0.0f, shape.tangent_sigma);
+    const float s3 = std::max(1e-5f, std::max(s1, s2) * shape.normal_ratio);
+
+    // Opacity: mixture of mostly-opaque surface splats and a translucent
+    // tail, approximating trained-checkpoint opacity histograms.
+    const float opacity = rng.chance(0.75f) ? rng.uniform(0.55f, 0.99f) : rng.uniform(0.05f, 0.55f);
+
+    const Vec3 rgb{std::clamp(base_color.x + rng.normal(0.0f, 0.08f), 0.02f, 0.98f),
+                   std::clamp(base_color.y + rng.normal(0.0f, 0.08f), 0.02f, 0.98f),
+                   std::clamp(base_color.z + rng.normal(0.0f, 0.08f), 0.02f, 0.98f)};
+    std::fill(sh.begin(), sh.end(), 0.0f);
+    sh[0 * n_coeff] = (rgb.x - 0.5f) / kY0;
+    sh[1 * n_coeff] = (rgb.y - 0.5f) / kY0;
+    sh[2 * n_coeff] = (rgb.z - 0.5f) / kY0;
+    // Mild view dependence in the higher-order terms.
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t k = 1; k < n_coeff; ++k) {
+        sh[c * n_coeff + k] = rng.normal(0.0f, 0.02f);
+      }
+    }
+    cloud.add(pos, {std::max(1e-5f, s1), std::max(1e-5f, s2), s3}, from_basis(a1, a2, a3),
+              opacity, sh);
+  }
+}
+
+/// Emits splats over the surface of an axis-aligned box (six patches with
+/// per-face counts proportional to area).
+void emit_box(GaussianCloud& cloud, Rng& rng, Vec3 center, Vec3 half, std::size_t count,
+              Vec3 color, const SplatShape& shape) {
+  const float ax = half.y * half.z, ay = half.x * half.z, az = half.x * half.y;
+  const float total = 2.0f * (ax + ay + az);
+  if (total <= 0.0f || count == 0) return;
+  const auto face_count = [&](float area) {
+    return static_cast<std::size_t>(std::lround(static_cast<double>(count) * area / total));
+  };
+  const Vec3 ux{1, 0, 0}, uy{0, 1, 0}, uz{0, 0, 1};
+  // +x / -x
+  emit_patch(cloud, rng, center + ux * half.x, uy, uz, half.y, half.z, face_count(ax), color, shape);
+  emit_patch(cloud, rng, center - ux * half.x, uz, uy, half.z, half.y, face_count(ax), color, shape);
+  // +y / -y
+  emit_patch(cloud, rng, center + uy * half.y, uz, ux, half.z, half.x, face_count(ay), color, shape);
+  emit_patch(cloud, rng, center - uy * half.y, ux, uz, half.x, half.z, face_count(ay), color, shape);
+  // +z / -z
+  emit_patch(cloud, rng, center + uz * half.z, ux, uy, half.x, half.y, face_count(az), color, shape);
+  emit_patch(cloud, rng, center - uz * half.z, uy, ux, half.y, half.x, face_count(az), color, shape);
+}
+
+/// Large sparse background splats on a distant shell; these produce the
+/// big-footprint population responsible for high tile-per-Gaussian counts.
+void emit_background_shell(GaussianCloud& cloud, Rng& rng, Vec3 center, float radius,
+                           std::size_t count) {
+  const std::size_t n_coeff = sh_coeff_count(cloud.sh_degree());
+  std::vector<float> sh(3 * n_coeff, 0.0f);
+  constexpr float kY0 = 0.28209479177387814f;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Uniform direction on the upper hemisphere-ish shell.
+    const float z = rng.uniform(-0.25f, 1.0f);
+    const float phi = rng.uniform(0.0f, 2.0f * kPi);
+    const float r = std::sqrt(std::max(0.0f, 1.0f - z * z));
+    const Vec3 dir{r * std::cos(phi), z, r * std::sin(phi)};
+    const Vec3 pos = center + dir * radius * rng.uniform(0.9f, 1.4f);
+
+    const float s = radius * 0.02f * rng.log_normal(0.0f, 0.6f);
+    const Vec3 sky{0.55f, 0.65f, 0.8f};
+    const Vec3 rgb{std::clamp(sky.x + rng.normal(0.0f, 0.1f), 0.0f, 1.0f),
+                   std::clamp(sky.y + rng.normal(0.0f, 0.1f), 0.0f, 1.0f),
+                   std::clamp(sky.z + rng.normal(0.0f, 0.1f), 0.0f, 1.0f)};
+    std::fill(sh.begin(), sh.end(), 0.0f);
+    sh[0 * n_coeff] = (rgb.x - 0.5f) / kY0;
+    sh[1 * n_coeff] = (rgb.y - 0.5f) / kY0;
+    sh[2 * n_coeff] = (rgb.z - 0.5f) / kY0;
+    cloud.add(pos, {s, s, s * 0.35f}, from_axis_angle({rng.normal(), rng.normal(), rng.normal()},
+                                                      rng.uniform(0.0f, kPi)),
+              rng.uniform(0.2f, 0.8f), sh);
+  }
+}
+
+void build_outdoor_street(GaussianCloud& cloud, Rng& rng, std::size_t budget) {
+  const SplatShape fine{0.9f, 0.4f, 0.12f};
+  const SplatShape ground_shape{1.1f, 0.5f, 0.08f};
+  const std::size_t object_count = budget * 45 / 100;
+  const std::size_t ground_count = budget * 25 / 100;
+  const std::size_t background_count = budget - object_count - ground_count;
+
+  // Central subject: a truck/locomotive-scale cluster of boxes.
+  const int n_parts = 6;
+  for (int p = 0; p < n_parts; ++p) {
+    Rng part = rng.fork(100 + p);
+    const Vec3 c{part.uniform(-3.0f, 3.0f), part.uniform(0.4f, 2.2f), part.uniform(-1.5f, 1.5f)};
+    const Vec3 half{part.uniform(0.6f, 2.2f), part.uniform(0.4f, 1.2f), part.uniform(0.5f, 1.2f)};
+    const Vec3 color{part.uniform(0.15f, 0.85f), part.uniform(0.15f, 0.85f),
+                     part.uniform(0.15f, 0.85f)};
+    emit_box(cloud, rng, c, half, object_count / n_parts, color, fine);
+  }
+  // Ground plane around the subject.
+  emit_patch(cloud, rng, {0.0f, 0.0f, 0.0f}, {1, 0, 0}, {0, 0, 1}, 18.0f, 18.0f, ground_count,
+             {0.35f, 0.3f, 0.25f}, ground_shape);
+  // Distant environment.
+  emit_background_shell(cloud, rng, {0.0f, 2.0f, 0.0f}, 30.0f, background_count);
+}
+
+void build_indoor_room(GaussianCloud& cloud, Rng& rng, std::size_t budget) {
+  const SplatShape wall_shape{1.0f, 0.4f, 0.08f};
+  const SplatShape furniture_shape{0.85f, 0.45f, 0.15f};
+  const std::size_t wall_count = budget * 55 / 100;
+  const std::size_t furniture_count = budget * 40 / 100;
+  const std::size_t clutter_count = budget - wall_count - furniture_count;
+
+  const float w = 8.0f, h = 3.0f, d = 6.0f;  // room half-width 4, height 3, half-depth 3
+  const Vec3 room_center{0.0f, h * 0.5f, 0.0f};
+  // Six room surfaces (floor, ceiling, 4 walls) with area-weighted counts.
+  const float floor_area = w * d, wall_xz = w * h, wall_yz = d * h;
+  const float total = 2.0f * floor_area + 2.0f * wall_xz + 2.0f * wall_yz;
+  const auto part = [&](float area) {
+    return static_cast<std::size_t>(static_cast<double>(wall_count) * area / total);
+  };
+  emit_patch(cloud, rng, {0, 0, 0}, {1, 0, 0}, {0, 0, 1}, w / 2, d / 2, part(floor_area),
+             {0.45f, 0.35f, 0.25f}, wall_shape);  // floor
+  emit_patch(cloud, rng, {0, h, 0}, {1, 0, 0}, {0, 0, 1}, w / 2, d / 2, part(floor_area),
+             {0.85f, 0.85f, 0.8f}, wall_shape);  // ceiling
+  emit_patch(cloud, rng, {0, h / 2, -d / 2}, {1, 0, 0}, {0, 1, 0}, w / 2, h / 2, part(wall_xz),
+             {0.7f, 0.65f, 0.55f}, wall_shape);
+  emit_patch(cloud, rng, {0, h / 2, d / 2}, {1, 0, 0}, {0, 1, 0}, w / 2, h / 2, part(wall_xz),
+             {0.7f, 0.65f, 0.55f}, wall_shape);
+  emit_patch(cloud, rng, {-w / 2, h / 2, 0}, {0, 0, 1}, {0, 1, 0}, d / 2, h / 2, part(wall_yz),
+             {0.65f, 0.6f, 0.55f}, wall_shape);
+  emit_patch(cloud, rng, {w / 2, h / 2, 0}, {0, 0, 1}, {0, 1, 0}, d / 2, h / 2, part(wall_yz),
+             {0.65f, 0.6f, 0.55f}, wall_shape);
+
+  // Furniture boxes scattered on the floor.
+  const int n_furniture = 8;
+  for (int i = 0; i < n_furniture; ++i) {
+    Rng f = rng.fork(200 + i);
+    const Vec3 half{f.uniform(0.25f, 0.9f), f.uniform(0.25f, 0.8f), f.uniform(0.25f, 0.9f)};
+    const Vec3 c{f.uniform(-w / 2 + 1.0f, w / 2 - 1.0f), half.y,
+                 f.uniform(-d / 2 + 1.0f, d / 2 - 1.0f)};
+    const Vec3 color{f.uniform(0.1f, 0.9f), f.uniform(0.1f, 0.9f), f.uniform(0.1f, 0.9f)};
+    emit_box(cloud, rng, c, half, furniture_count / n_furniture, color, furniture_shape);
+  }
+  // Small clutter blobs (toys, books): isotropic-ish splats.
+  emit_patch(cloud, rng, {0.0f, 0.8f, 0.0f}, {1, 0, 0}, {0, 0, 1}, w / 3, d / 3, clutter_count,
+             {0.5f, 0.4f, 0.45f}, furniture_shape);
+  (void)room_center;
+}
+
+void build_aerial(GaussianCloud& cloud, Rng& rng, std::size_t budget) {
+  const SplatShape terrain_shape{1.1f, 0.55f, 0.1f};
+  const SplatShape building_shape{0.9f, 0.4f, 0.12f};
+  const std::size_t terrain_count = budget * 50 / 100;
+  const std::size_t building_count = budget * 45 / 100;
+  const std::size_t scatter_count = budget - terrain_count - building_count;
+
+  const float extent = 120.0f;  // half extent of the site
+  // Terrain: four quadrant patches with slightly different tints.
+  for (int q = 0; q < 4; ++q) {
+    const float sx = (q & 1) ? 1.0f : -1.0f;
+    const float sz = (q & 2) ? 1.0f : -1.0f;
+    emit_patch(cloud, rng, {sx * extent / 2, 0.0f, sz * extent / 2}, {1, 0, 0}, {0, 0, 1},
+               extent / 2, extent / 2, terrain_count / 4,
+               {0.35f + 0.05f * static_cast<float>(q & 1), 0.33f, 0.28f}, terrain_shape);
+  }
+  // Building grid.
+  const int grid = 5;
+  std::size_t per_building = building_count / (grid * grid);
+  for (int gx = 0; gx < grid; ++gx) {
+    for (int gz = 0; gz < grid; ++gz) {
+      Rng b = rng.fork(300 + gx * grid + gz);
+      const float cx = (static_cast<float>(gx) - (grid - 1) / 2.0f) * (2.0f * extent / grid) +
+                       b.uniform(-6.0f, 6.0f);
+      const float cz = (static_cast<float>(gz) - (grid - 1) / 2.0f) * (2.0f * extent / grid) +
+                       b.uniform(-6.0f, 6.0f);
+      const Vec3 half{b.uniform(5.0f, 14.0f), b.uniform(6.0f, 28.0f), b.uniform(5.0f, 14.0f)};
+      const Vec3 color{b.uniform(0.3f, 0.8f), b.uniform(0.3f, 0.7f), b.uniform(0.3f, 0.7f)};
+      emit_box(cloud, rng, {cx, half.y, cz}, half, per_building, color, building_shape);
+    }
+  }
+  // Scattered vegetation / debris.
+  emit_patch(cloud, rng, {0.0f, 1.0f, 0.0f}, {1, 0, 0}, {0, 0, 1}, extent, extent, scatter_count,
+             {0.25f, 0.4f, 0.2f}, building_shape);
+}
+
+Camera make_camera(const SceneInfo& info, int width, int height, Vec3& focus_out) {
+  switch (info.kind) {
+    case SceneKind::kOutdoorStreet: {
+      const Vec3 eye{9.0f, 3.5f, 10.0f};
+      const Vec3 target{0.0f, 1.2f, 0.0f};
+      focus_out = target;
+      return Camera::from_fov(width, height, 1.2f, look_at(eye, target));
+    }
+    case SceneKind::kIndoorRoom: {
+      const Vec3 eye{-3.0f, 1.6f, -2.2f};
+      const Vec3 target{1.0f, 1.1f, 1.5f};
+      focus_out = target;
+      return Camera::from_fov(width, height, 1.25f, look_at(eye, target));
+    }
+    case SceneKind::kAerial: {
+      const Vec3 eye{140.0f, 110.0f, 140.0f};
+      const Vec3 target{0.0f, 5.0f, 0.0f};
+      focus_out = target;
+      return Camera::from_fov(width, height, 1.1f, look_at(eye, target));
+    }
+  }
+  throw std::logic_error("make_camera: unknown scene kind");
+}
+
+}  // namespace
+
+const std::vector<SceneInfo>& all_scenes() { return scene_table(); }
+
+const std::vector<SceneInfo>& algorithm_scenes() {
+  static const std::vector<SceneInfo> four(scene_table().begin(), scene_table().begin() + 4);
+  return four;
+}
+
+const SceneInfo& scene_info(const std::string& name) {
+  for (const SceneInfo& info : scene_table()) {
+    if (info.name == name) return info;
+  }
+  throw std::invalid_argument("unknown scene: " + name);
+}
+
+Scene generate_scene(const SceneInfo& info, const RunScale& scale) {
+  if (scale.resolution_divisor < 1 || scale.gaussian_divisor < 1) {
+    throw std::invalid_argument("generate_scene: divisors must be >= 1");
+  }
+  const int render_width = std::max(64, info.paper_width / scale.resolution_divisor);
+  const int render_height = std::max(64, info.paper_height / scale.resolution_divisor);
+
+  const std::size_t budget = std::max<std::size_t>(
+      2'000, info.paper_gaussians / static_cast<std::size_t>(scale.gaussian_divisor));
+
+  // SH degree 3 everywhere, matching 3D-GS-30k checkpoints.
+  GaussianCloud cloud(kMaxShDegree);
+  cloud.reserve(budget + budget / 8);
+
+  Rng rng(fnv1a64(info.name));
+  switch (info.kind) {
+    case SceneKind::kOutdoorStreet:
+      build_outdoor_street(cloud, rng, budget);
+      break;
+    case SceneKind::kIndoorRoom:
+      build_indoor_room(cloud, rng, budget);
+      break;
+    case SceneKind::kAerial:
+      build_aerial(cloud, rng, budget);
+      break;
+  }
+  Vec3 focus;
+  Camera camera = make_camera(info, render_width, render_height, focus);
+  return Scene{info, std::move(cloud), camera, focus, render_width, render_height};
+}
+
+Scene generate_scene(const std::string& name, const RunScale& scale) {
+  return generate_scene(scene_info(name), scale);
+}
+
+std::vector<Camera> orbit_cameras(const Scene& scene, int frame_count) {
+  if (frame_count <= 0) {
+    throw std::invalid_argument("orbit_cameras: frame_count must be positive");
+  }
+  std::vector<Camera> cameras;
+  cameras.reserve(frame_count);
+  const Vec3 eye0 = scene.camera.position();
+  const Vec3 offset = eye0 - scene.focus;
+  const float radius = std::sqrt(offset.x * offset.x + offset.z * offset.z);
+  const float base_angle = std::atan2(offset.z, offset.x);
+  for (int i = 0; i < frame_count; ++i) {
+    const float angle =
+        base_angle + 2.0f * kPi * static_cast<float>(i) / static_cast<float>(frame_count);
+    const Vec3 eye{scene.focus.x + radius * std::cos(angle), eye0.y,
+                   scene.focus.z + radius * std::sin(angle)};
+    cameras.emplace_back(Camera::from_fov(scene.render_width, scene.render_height, 1.2f,
+                                          look_at(eye, scene.focus)));
+  }
+  return cameras;
+}
+
+}  // namespace gstg

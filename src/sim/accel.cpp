@@ -1,0 +1,138 @@
+#include "sim/accel.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/energy.h"
+#include "sim/modules.h"
+
+namespace gstg {
+
+SimReport simulate_frame(const FrameWorkload& workload, const PipelineModel& model,
+                         const HwConfig& hw) {
+  if (!model.has_bgm && !workload.bgm.empty()) {
+    throw std::invalid_argument("simulate_frame: bitmask work given to a BGM-less design");
+  }
+  if (model.has_bgm && workload.bgm.size() != workload.sorts.size()) {
+    throw std::invalid_argument("simulate_frame: BGM/sort unit count mismatch");
+  }
+  const std::size_t cores = static_cast<std::size_t>(hw.cores);
+  const std::size_t units = workload.sorts.size();
+
+  // Per-unit costs. A unit is a group (GS-TG) or a tile (baseline/GSCore);
+  // its RM cost aggregates the tiles it owns, mirroring the shared-memory
+  // locality of Fig. 10.
+  std::vector<double> unit_stage1(units, 0.0);  // max(BGM, GSM) per unit
+  std::vector<double> unit_rm(units, 0.0);
+  double bgm_busy_total = 0.0;
+  double gsm_busy_total = 0.0;
+  double rm_busy_total = 0.0;
+
+  for (std::size_t u = 0; u < units; ++u) {
+    const double gsm = gsm_unit_cycles(workload.sorts[u].n, model.sorter, hw);
+    double stage1 = gsm;
+    if (model.has_bgm) {
+      const double bgm = bgm_unit_cycles(workload.bgm[u], hw);
+      bgm_busy_total += bgm;
+      // BGM and GSM run in parallel on the accelerator (section V-A); the
+      // sequential_bgm ablation serialises them as a GPU would.
+      stage1 = model.sequential_bgm ? bgm + gsm : std::max(bgm, gsm);
+    }
+    gsm_busy_total += gsm;
+    unit_stage1[u] = stage1;
+  }
+  for (const RasterUnit& tile : workload.tiles) {
+    if (tile.sort_unit >= units) {
+      throw std::invalid_argument("simulate_frame: tile references unknown sort unit");
+    }
+    const double rm = rm_tile_cycles(tile, hw, model.has_bgm, model.raster_units);
+    rm_busy_total += rm;
+    unit_rm[tile.sort_unit] += rm;
+  }
+
+  // Cores pull work units from a shared queue ordered by descending cost
+  // (longest-processing-time-first). Group list lengths are known after
+  // group identification, so the dispatcher can issue heavy groups first —
+  // static round-robin would strand one core with the few heavy central
+  // groups of a frame.
+  std::vector<std::size_t> order(units);
+  for (std::size_t u = 0; u < units; ++u) order[u] = u;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ca = unit_stage1[a] + unit_rm[a];
+    const double cb = unit_stage1[b] + unit_rm[b];
+    if (ca != cb) return ca > cb;
+    return a < b;  // deterministic tiebreak
+  });
+  std::vector<double> core_stage1(cores, 0.0);
+  std::vector<double> core_rm(cores, 0.0);
+  for (const std::size_t u : order) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < cores; ++c) {
+      if (core_stage1[c] + core_rm[c] < core_stage1[best] + core_rm[best]) best = c;
+    }
+    core_stage1[best] += unit_stage1[u];
+    core_rm[best] += unit_rm[u];
+  }
+
+  // Each core's sorting stage and rasterization stage are double-buffered:
+  // steady state is bounded by the slower stage.
+  double chip_core_cycles = 0.0;
+  for (std::size_t c = 0; c < cores; ++c) {
+    chip_core_cycles = std::max(chip_core_cycles, std::max(core_stage1[c], core_rm[c]));
+  }
+
+  const double pm = pm_total_cycles(workload, hw);
+  // PM streams Gaussians to the cores; with double-buffered group data the
+  // slower of the two sides dominates. A small fixed fill covers the first
+  // unit through the pipeline.
+  constexpr double kPipelineFill = 512.0;
+  const double compute_cycles = std::max(pm, chip_core_cycles) + kPipelineFill;
+
+  // Buffer-capacity model (Table III, 2x42KB per core): a unit's feature
+  // working set beyond one bank spills to DRAM and is re-read (2x traffic).
+  std::size_t spill_bytes = 0;
+  for (const SortUnit& s : workload.sorts) {
+    const std::size_t ws = static_cast<std::size_t>(s.n) * workload.working_set_entry_bytes;
+    if (ws > hw.buffer_bank_bytes) {
+      spill_bytes += 2 * (ws - hw.buffer_bank_bytes);
+    }
+  }
+  const std::size_t dram_bytes = workload.total_bytes() + spill_bytes;
+  const double dram_cycles = static_cast<double>(dram_bytes) / hw.dram_bytes_per_cycle();
+  const double total = std::max(compute_cycles, dram_cycles);
+
+  SimReport report;
+  report.scene = workload.scene;
+  report.design = model.label;
+  report.pm_cycles = pm;
+  report.bgm_cycles = bgm_busy_total / static_cast<double>(cores);
+  report.gsm_cycles = gsm_busy_total / static_cast<double>(cores);
+  report.rm_cycles = rm_busy_total / static_cast<double>(cores);
+  double stage1_total = 0.0;
+  for (const double c : core_stage1) stage1_total += c;
+  report.sort_stage_cycles = stage1_total / static_cast<double>(cores);
+  report.dram_cycles = dram_cycles;
+  report.total_cycles = total;
+  report.fps = hw.frequency_hz / total;
+  report.dram_bytes = dram_bytes;
+  report.spill_bytes = spill_bytes;
+
+  if (dram_cycles >= compute_cycles) {
+    report.bottleneck = "dram";
+  } else if (pm >= chip_core_cycles) {
+    report.bottleneck = "preprocess";
+  } else {
+    double stage1_max = 0.0, rm_max = 0.0;
+    for (std::size_t c = 0; c < cores; ++c) {
+      stage1_max = std::max(stage1_max, core_stage1[c]);
+      rm_max = std::max(rm_max, core_rm[c]);
+    }
+    report.bottleneck = stage1_max >= rm_max ? "sort" : "raster";
+  }
+
+  report.energy = compute_energy(report, model, hw);
+  return report;
+}
+
+}  // namespace gstg

@@ -1,0 +1,19 @@
+// Chip-level composition: distributes work units over the four cores,
+// overlaps BGM with GSM inside each GS-TG core, overlaps PM with the cores,
+// and bounds everything by DRAM bandwidth. Produces a SimReport with
+// cycles, FPS and energy.
+#pragma once
+
+#include "sim/hw_config.h"
+#include "sim/report.h"
+#include "sim/workload.h"
+
+namespace gstg {
+
+/// Simulates one frame of `workload` on the design described by `model`.
+/// Deterministic; throws std::invalid_argument on inconsistent inputs
+/// (e.g. a BGM-less model given bitmask work).
+SimReport simulate_frame(const FrameWorkload& workload, const PipelineModel& model,
+                         const HwConfig& hw);
+
+}  // namespace gstg

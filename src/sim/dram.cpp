@@ -1,0 +1,6 @@
+#include "sim/dram.h"
+
+// DramModel is header-only; this translation unit anchors the library
+// target and keeps a single definition point if out-of-line members are
+// added later.
+namespace gstg {}

@@ -1,0 +1,49 @@
+// Standalone DRAM bandwidth/energy model. The frame simulator uses the
+// aggregate form (bytes / bytes-per-cycle); this module also provides a
+// transaction-granularity accumulator used by tests and the failure-
+// injection experiments (bandwidth starvation).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "sim/hw_config.h"
+
+namespace gstg {
+
+/// Accumulates DRAM transactions and converts them to cycles/energy under a
+/// bandwidth-limited model (51.2 GB/s at 1 GHz by default, section VI-A).
+class DramModel {
+ public:
+  explicit DramModel(const HwConfig& hw)
+      : bytes_per_cycle_(hw.dram_bytes_per_cycle()), pj_per_byte_(hw.dram_pj_per_byte) {
+    if (bytes_per_cycle_ <= 0.0) {
+      throw std::invalid_argument("DramModel: non-positive bandwidth");
+    }
+  }
+
+  void read(std::size_t bytes) { read_bytes_ += bytes; }
+  void write(std::size_t bytes) { write_bytes_ += bytes; }
+
+  [[nodiscard]] std::size_t read_bytes() const { return read_bytes_; }
+  [[nodiscard]] std::size_t write_bytes() const { return write_bytes_; }
+  [[nodiscard]] std::size_t total_bytes() const { return read_bytes_ + write_bytes_; }
+
+  /// Cycles to move all accumulated traffic at the configured bandwidth.
+  [[nodiscard]] double cycles() const {
+    return static_cast<double>(total_bytes()) / bytes_per_cycle_;
+  }
+
+  /// Energy in joules for the accumulated traffic.
+  [[nodiscard]] double energy_j() const {
+    return pj_per_byte_ * 1e-12 * static_cast<double>(total_bytes());
+  }
+
+ private:
+  double bytes_per_cycle_;
+  double pj_per_byte_;
+  std::size_t read_bytes_ = 0;
+  std::size_t write_bytes_ = 0;
+};
+
+}  // namespace gstg

@@ -1,0 +1,21 @@
+#include "sim/energy.h"
+
+namespace gstg {
+
+EnergyBreakdown compute_energy(const SimReport& report, const PipelineModel& model,
+                               const HwConfig& hw) {
+  const double cycle_s = 1.0 / hw.frequency_hz;
+  EnergyBreakdown e;
+  e.pm_j = hw.pm.power_w * report.pm_cycles * cycle_s;
+  if (model.has_bgm) {
+    e.bgm_j = hw.bgm.power_w * report.bgm_cycles * cycle_s;
+  }
+  e.gsm_j = hw.gsm.power_w * report.gsm_cycles * cycle_s;
+  e.rm_j = hw.rm.power_w * report.rm_cycles * cycle_s;
+  // The double buffers serve every stage; they are powered for the frame.
+  e.buffer_j = hw.buffer.power_w * report.total_cycles * cycle_s;
+  e.dram_j = hw.dram_pj_per_byte * 1e-12 * static_cast<double>(report.dram_bytes);
+  return e;
+}
+
+}  // namespace gstg

@@ -1,0 +1,16 @@
+// Energy model: module busy-time x Table III power, buffers active for the
+// whole frame, DRAM at a configurable pJ/byte (cf. Energon [16]).
+#pragma once
+
+#include "sim/hw_config.h"
+#include "sim/report.h"
+
+namespace gstg {
+
+/// Computes the per-frame energy breakdown from a report's busy cycles.
+/// Modules absent from the design (e.g. BGM on the baseline) contribute
+/// nothing.
+EnergyBreakdown compute_energy(const SimReport& report, const PipelineModel& model,
+                               const HwConfig& hw);
+
+}  // namespace gstg

@@ -1,0 +1,45 @@
+#include "sim/hw_config.h"
+
+#include <cmath>
+
+namespace gstg {
+
+double sort_unit_cycles(SorterKind kind, std::size_t n, const HwConfig& hw) {
+  if (n <= 1) return 0.0;
+  const double nd = static_cast<double>(n);
+  const double log_n = std::log2(nd);
+  switch (kind) {
+    case SorterKind::kQuicksort:
+      // One streaming pass per partition level at one element/cycle.
+      return hw.quicksort_factor * nd * std::ceil(log_n);
+    case SorterKind::kBitonic: {
+      // GSCore's hierarchical sorter: 64-element bitonic chunks on the
+      // comparator network (64*6*7/4 comparisons, gsm_comparators per
+      // cycle) followed by a streaming merge emitting one element/cycle.
+      constexpr double kChunk = 64.0;
+      const double chunks = std::ceil(nd / kChunk);
+      const double chunk_comparisons = kChunk * 6.0 * 7.0 / 4.0;
+      const double chunk_cycles =
+          std::ceil(chunk_comparisons / static_cast<double>(hw.gsm_comparators));
+      return chunks * chunk_cycles + nd;
+    }
+  }
+  return 0.0;
+}
+
+PipelineModel gstg_pipeline_model() {
+  return {"GS-TG", /*has_bgm=*/true, /*subtile_skip=*/false, SorterKind::kQuicksort,
+          /*raster_units=*/16};
+}
+
+PipelineModel baseline_pipeline_model() {
+  return {"Baseline", /*has_bgm=*/false, /*subtile_skip=*/false, SorterKind::kQuicksort,
+          /*raster_units=*/16};
+}
+
+PipelineModel gscore_pipeline_model() {
+  return {"GSCore", /*has_bgm=*/false, /*subtile_skip=*/true, SorterKind::kBitonic,
+          /*raster_units=*/8};
+}
+
+}  // namespace gstg

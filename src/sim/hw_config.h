@@ -1,0 +1,108 @@
+// Hardware configuration of the GS-TG accelerator (paper section V and
+// Table III) and of the two comparison designs (baseline accelerator,
+// GSCore). The simulator is transaction/cycle-level: each module has a
+// deterministic throughput model, and the chip-level total composes module
+// totals under the paper's pipelining scheme (BGM ∥ GSM, PM ∥ cores,
+// compute ∥ DRAM).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gstg {
+
+/// Per-module synthesis numbers from Table III (28nm, 1 GHz). Power values
+/// cover all four instances of each module.
+struct ModuleSpec {
+  int instances = 4;
+  double area_mm2 = 0.0;
+  double power_w = 0.0;
+};
+
+struct HwConfig {
+  double frequency_hz = 1.0e9;  ///< 1 GHz operating frequency (Table III)
+  int cores = 4;                ///< parallel PM + GS-TG core instances
+
+  // --- Module throughputs (per instance, per cycle) ---
+  /// PM: feature computation + culling, fully pipelined (II = 1).
+  double pm_gaussians_per_cycle = 1.0;
+  /// PM: group/tile identification boundary tests per cycle.
+  double pm_tests_per_cycle = 1.0;
+  /// BGM: four tile-check units per core (16-bit bitmask in ceil(tests/4)).
+  int bgm_tile_check_units = 4;
+  /// GSM: comparators in the sorting unit (intra-pass parallelism).
+  int gsm_comparators = 16;
+  /// Quicksort streaming-pass factor: the quick-sorting unit streams the
+  /// list through its comparator tree once per partition level, one element
+  /// per cycle, giving ~factor * n * ceil(log2 n) cycles. The comparators
+  /// provide the 16-way partition fan-out within a pass, not extra
+  /// element throughput — the unit is fed from a single buffer port.
+  double quicksort_factor = 1.0;
+  /// RM: bitmask AND/OR filter width (Gaussians per cycle).
+  int rm_filter_width = 8;
+  /// RM: parallel rasterization units (alpha evaluations per cycle).
+  int rm_rasterizer_units = 16;
+
+  // --- DRAM (section VI-A) ---
+  double dram_bytes_per_second = 51.2e9;  ///< 51.2 GB/s
+  double dram_pj_per_byte = 20.0;         ///< energy per byte moved (cf. [16])
+
+  /// Bytes per scalar for Gaussian parameters (2 = fp16 per section VI-A).
+  std::size_t bytes_per_scalar = 2;
+
+  /// On-chip buffering: each core owns a 2 x 42KB double buffer (Table III,
+  /// "4x2x42KB"). A work unit's feature working set streams through one
+  /// 42KB bank while the other is refilled; working sets larger than a bank
+  /// spill — the overflow is written back and re-read (2x traffic).
+  std::size_t buffer_bank_bytes = 42 * 1024;
+
+  // --- Table III synthesis results ---
+  ModuleSpec pm{4, 0.648, 0.429};
+  ModuleSpec bgm{4, 0.051, 0.055};
+  ModuleSpec gsm{4, 0.012, 0.001};
+  ModuleSpec rm{4, 1.891, 0.338};
+  ModuleSpec buffer{4, 1.382, 0.240};  ///< 4 x 2 x 42KB double buffers
+
+  [[nodiscard]] double total_area_mm2() const {
+    return pm.area_mm2 + bgm.area_mm2 + gsm.area_mm2 + rm.area_mm2 + buffer.area_mm2;
+  }
+  [[nodiscard]] double total_power_w() const {
+    return pm.power_w + bgm.power_w + gsm.power_w + rm.power_w + buffer.power_w;
+  }
+  [[nodiscard]] double dram_bytes_per_cycle() const {
+    return dram_bytes_per_second / frequency_hz;
+  }
+};
+
+/// Sorting-unit model: the GS-TG/baseline accelerator uses a quick-sorting
+/// unit; GSCore uses a bitonic merge network.
+enum class SorterKind { kQuicksort, kBitonic };
+
+/// Cycle count for sorting an n-element list on one sorting unit:
+///  - kQuicksort: streaming passes, factor * n * ceil(log2 n) cycles.
+///  - kBitonic (GSCore): hierarchical sorter — 64-element bitonic chunks on
+///    the comparator network plus a streaming merge at 1 element/cycle.
+double sort_unit_cycles(SorterKind kind, std::size_t n, const HwConfig& hw);
+
+/// Organisation of the design being simulated.
+struct PipelineModel {
+  std::string label;
+  bool has_bgm = false;           ///< GS-TG: bitmask generation overlapped with sorting
+  bool subtile_skip = false;      ///< GSCore: rasterizer skips uncovered subtiles
+  SorterKind sorter = SorterKind::kQuicksort;
+  /// Rasterization lanes per core. GS-TG's RM has 16 RUs; the GSCore model
+  /// uses 8 — its cluster spends the matching area budget on the
+  /// hierarchical sorting network and subtile-bitmap pipeline, calibrated
+  /// so the model reproduces GSCore's placement relative to the paper's
+  /// baseline in Fig. 14 (DESIGN.md, section 2).
+  int raster_units = 16;
+  /// Ablation switch: run bitmask generation *after* sorting instead of in
+  /// parallel with it (GPU-order execution, section V-A's SIMT limitation).
+  bool sequential_bgm = false;
+};
+
+PipelineModel gstg_pipeline_model();
+PipelineModel baseline_pipeline_model();
+PipelineModel gscore_pipeline_model();
+
+}  // namespace gstg

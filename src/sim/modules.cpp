@@ -1,0 +1,38 @@
+#include "sim/modules.h"
+
+#include <cmath>
+
+namespace gstg {
+
+double pm_total_cycles(const FrameWorkload& w, const HwConfig& hw) {
+  const double feature_cycles =
+      static_cast<double>(w.input_gaussians) / hw.pm_gaussians_per_cycle;
+  const double ident_cycles = static_cast<double>(w.ident_tests) / hw.pm_tests_per_cycle;
+  return (feature_cycles + ident_cycles) / static_cast<double>(hw.cores);
+}
+
+double bgm_unit_cycles(const BgmUnit& unit, const HwConfig& hw) {
+  // One issue cycle per entry, plus its boundary tests spread across the
+  // tile-check units.
+  return static_cast<double>(unit.entries) +
+         std::ceil(static_cast<double>(unit.tests) /
+                   static_cast<double>(hw.bgm_tile_check_units));
+}
+
+double gsm_unit_cycles(std::size_t n, SorterKind sorter, const HwConfig& hw) {
+  return sort_unit_cycles(sorter, n, hw);
+}
+
+double rm_tile_cycles(const RasterUnit& tile, const HwConfig& hw, bool has_filter,
+                      int raster_units) {
+  const double lanes = static_cast<double>(raster_units);
+  const double raster = std::ceil(static_cast<double>(tile.alpha_evals) / lanes) +
+                        // final colour writeback, one pixel per lane per cycle
+                        std::ceil(static_cast<double>(tile.pixels) / lanes);
+  if (!has_filter) return raster;
+  const double filter = std::ceil(static_cast<double>(tile.filter_len) /
+                                  static_cast<double>(hw.rm_filter_width));
+  return std::max(filter, raster);
+}
+
+}  // namespace gstg

@@ -1,0 +1,34 @@
+// Per-module cycle models (paper section V-B):
+//   PM  — feature compute + culling (II=1) and boundary-test throughput
+//   BGM — four tile-check units building 16-bit bitmasks
+//   GSM — quick-sorting unit with 16 comparators (bitonic for GSCore)
+//   RM  — 8-wide bitmask AND filter + 16 rasterization units
+// All return cycle counts for one work unit on one module instance.
+#pragma once
+
+#include "sim/hw_config.h"
+#include "sim/workload.h"
+
+namespace gstg {
+
+/// PM total cycles across the chip (work divided over the four instances):
+/// one cycle per input Gaussian (pipelined feature compute + culling) plus
+/// one per identification boundary test.
+double pm_total_cycles(const FrameWorkload& w, const HwConfig& hw);
+
+/// BGM cycles for one group: each entry issues, then its tile tests run
+/// over the parallel tile-check units.
+double bgm_unit_cycles(const BgmUnit& unit, const HwConfig& hw);
+
+/// Sorting cycles for one list of length n on the given sorter.
+double gsm_unit_cycles(std::size_t n, SorterKind sorter, const HwConfig& hw);
+
+/// RM cycles for one tile. The bitmask filter (8 entries/cycle) feeds the
+/// tile FIFO in parallel with rasterization (Fig. 10), so the tile costs
+/// the maximum of the filter stream and the alpha-evaluation + writeback
+/// work of the rasterization lanes. `raster_units` is per-design (16 for
+/// GS-TG/baseline, 8 for the GSCore model — see PipelineModel).
+double rm_tile_cycles(const RasterUnit& tile, const HwConfig& hw, bool has_filter,
+                      int raster_units);
+
+}  // namespace gstg

@@ -1,0 +1,26 @@
+#include "sim/report.h"
+
+#include <sstream>
+
+namespace gstg {
+
+std::string to_string(const SimReport& report) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(0);
+  out << report.design << " @ " << report.scene << ": " << report.total_cycles << " cycles ("
+      << report.fps << " fps est.), bottleneck=" << report.bottleneck;
+  out.precision(3);
+  out << "\n  cycles: pm=" << report.pm_cycles << " bgm=" << report.bgm_cycles
+      << " gsm=" << report.gsm_cycles << " sort_stage=" << report.sort_stage_cycles
+      << " rm=" << report.rm_cycles << " dram=" << report.dram_cycles;
+  out << "\n  dram bytes=" << static_cast<double>(report.dram_bytes);
+  out.precision(6);
+  out << "\n  energy [J]: pm=" << report.energy.pm_j << " bgm=" << report.energy.bgm_j
+      << " gsm=" << report.energy.gsm_j << " rm=" << report.energy.rm_j
+      << " buffer=" << report.energy.buffer_j << " dram=" << report.energy.dram_j
+      << " total=" << report.energy.total_j();
+  return out.str();
+}
+
+}  // namespace gstg

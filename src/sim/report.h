@@ -1,0 +1,53 @@
+// Simulation result record: per-stage cycles, frame rate, bottleneck and
+// the energy breakdown behind Figs. 14 and 15.
+#pragma once
+
+#include <string>
+
+namespace gstg {
+
+struct EnergyBreakdown {
+  double pm_j = 0.0;
+  double bgm_j = 0.0;
+  double gsm_j = 0.0;
+  double rm_j = 0.0;
+  double buffer_j = 0.0;
+  double dram_j = 0.0;
+
+  [[nodiscard]] double total_j() const {
+    return pm_j + bgm_j + gsm_j + rm_j + buffer_j + dram_j;
+  }
+};
+
+struct SimReport {
+  std::string scene;
+  std::string design;
+
+  // Busy cycles per module (averaged per instance, i.e. chip-time).
+  double pm_cycles = 0.0;
+  double bgm_cycles = 0.0;
+  double gsm_cycles = 0.0;
+  double rm_cycles = 0.0;
+  double dram_cycles = 0.0;
+  /// Sorting-stage chip time with BGM/GSM overlap applied (max per unit).
+  double sort_stage_cycles = 0.0;
+
+  double total_cycles = 0.0;
+  double fps = 0.0;
+  std::string bottleneck;
+
+  std::size_t dram_bytes = 0;   ///< includes buffer-spill traffic
+  std::size_t spill_bytes = 0;  ///< work-unit overflow beyond the 42KB bank
+  EnergyBreakdown energy;
+
+  /// Frames-per-joule, the quantity normalised in Fig. 15.
+  [[nodiscard]] double frames_per_joule() const {
+    const double j = energy.total_j();
+    return j > 0.0 ? 1.0 / j : 0.0;
+  }
+};
+
+/// One-paragraph textual summary used by examples and benches.
+std::string to_string(const SimReport& report);
+
+}  // namespace gstg

@@ -1,0 +1,36 @@
+#include "sim/sequence.h"
+
+#include <stdexcept>
+
+#include "sim/workload.h"
+
+namespace gstg {
+
+SequenceReport simulate_gstg_sequence(const GaussianCloud& cloud,
+                                      const std::vector<Camera>& cameras,
+                                      const GsTgConfig& config, const HwConfig& hw,
+                                      const std::string& scene_name) {
+  if (cameras.empty()) {
+    throw std::invalid_argument("simulate_gstg_sequence: no cameras");
+  }
+  SequenceReport report;
+  report.frames.reserve(cameras.size());
+  const PipelineModel model = gstg_pipeline_model();
+
+  for (std::size_t f = 0; f < cameras.size(); ++f) {
+    FrameWorkload w = build_gstg_workload(cloud, cameras[f], config);
+    w.scene = scene_name + "#" + std::to_string(f);
+    if (f > 0) {
+      w.param_bytes = 0;  // parameters resident after the first frame
+    }
+    report.frames.push_back(simulate_frame(w, model, hw));
+    report.total_cycles += report.frames.back().total_cycles;
+    report.total_energy_j += report.frames.back().energy.total_j();
+  }
+  const double mean_cycles = report.total_cycles / static_cast<double>(cameras.size());
+  report.sustained_fps = hw.frequency_hz / mean_cycles;
+  report.energy_per_frame_j = report.total_energy_j / static_cast<double>(cameras.size());
+  return report;
+}
+
+}  // namespace gstg

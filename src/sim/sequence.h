@@ -1,0 +1,36 @@
+// Multi-frame simulation: drives the cycle simulator along a camera path,
+// modelling the cross-frame behaviour a single-frame run cannot capture —
+// Gaussian parameters are resident after the first frame (read once), while
+// per-frame feature/list/framebuffer traffic recurs. Produces the sustained
+// FPS estimate an AR/VR integrator needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "camera/camera.h"
+#include "core/gstg_config.h"
+#include "gaussian/cloud.h"
+#include "sim/accel.h"
+
+namespace gstg {
+
+struct SequenceReport {
+  std::vector<SimReport> frames;
+  double total_cycles = 0.0;
+  double sustained_fps = 0.0;      ///< frequency / mean frame cycles
+  double total_energy_j = 0.0;
+  double energy_per_frame_j = 0.0;
+
+  [[nodiscard]] std::size_t frame_count() const { return frames.size(); }
+};
+
+/// Simulates `cameras.size()` GS-TG frames over the cloud. Parameters are
+/// charged to DRAM only on the first frame (resident thereafter); all other
+/// traffic recurs per frame.
+SequenceReport simulate_gstg_sequence(const GaussianCloud& cloud,
+                                      const std::vector<Camera>& cameras,
+                                      const GsTgConfig& config, const HwConfig& hw,
+                                      const std::string& scene_name);
+
+}  // namespace gstg

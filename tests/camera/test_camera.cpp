@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "camera/camera.h"
+#include "camera/ewa.h"
+
+namespace gstg {
+namespace {
+
+constexpr float kEps = 1e-4f;
+
+Camera test_camera(int w = 640, int h = 480) {
+  return Camera::from_fov(w, h, 1.2f, look_at({0, 0, -5}, {0, 0, 0}));
+}
+
+TEST(Camera, FromFovIntrinsics) {
+  const Camera cam = test_camera();
+  EXPECT_EQ(cam.width(), 640);
+  EXPECT_EQ(cam.height(), 480);
+  EXPECT_FLOAT_EQ(cam.cx(), 320.0f);
+  EXPECT_FLOAT_EQ(cam.cy(), 240.0f);
+  EXPECT_NEAR(cam.fx(), 320.0f / std::tan(0.6f), 1e-2f);
+  EXPECT_EQ(cam.fx(), cam.fy());
+  EXPECT_NEAR(cam.tan_half_fov_x(), std::tan(0.6f), 1e-5f);
+}
+
+TEST(Camera, RejectsBadParameters) {
+  const Mat4 id = Mat4::identity();
+  EXPECT_THROW(Camera::from_fov(0, 100, 1.0f, id), std::invalid_argument);
+  EXPECT_THROW(Camera::from_fov(100, 100, -1.0f, id), std::invalid_argument);
+  EXPECT_THROW(Camera::from_fov(100, 100, 3.2f, id), std::invalid_argument);
+  EXPECT_THROW(Camera(100, 100, -1.0f, 1.0f, 50, 50, id), std::invalid_argument);
+}
+
+TEST(Camera, LookAtPlacesTargetAtImageCenter) {
+  const Camera cam = test_camera();
+  const Vec3 view = cam.to_view({0, 0, 0});
+  EXPECT_NEAR(view.x, 0.0f, kEps);
+  EXPECT_NEAR(view.y, 0.0f, kEps);
+  EXPECT_NEAR(view.z, 5.0f, kEps);  // +z forward, 5 units away
+  const Vec2 px = cam.view_to_pixel(view);
+  EXPECT_NEAR(px.x, 320.0f, 1e-2f);
+  EXPECT_NEAR(px.y, 240.0f, 1e-2f);
+}
+
+TEST(Camera, PositionRecoversEye) {
+  const Camera cam = test_camera();
+  const Vec3 eye = cam.position();
+  EXPECT_NEAR(eye.x, 0.0f, kEps);
+  EXPECT_NEAR(eye.y, 0.0f, kEps);
+  EXPECT_NEAR(eye.z, -5.0f, kEps);
+}
+
+TEST(Camera, WorldYUpMapsToSmallerPixelV) {
+  // With the default up hint (world y up), a point above the target must
+  // land above the image centre (smaller v).
+  const Camera cam = test_camera();
+  const Vec3 view = cam.to_view({0, 1.0f, 0});
+  const Vec2 px = cam.view_to_pixel(view);
+  EXPECT_LT(px.y, 240.0f);
+}
+
+TEST(Camera, FrustumCulling) {
+  const Camera cam = test_camera();
+  EXPECT_TRUE(cam.in_frustum({0, 0, 5.0f}));
+  EXPECT_FALSE(cam.in_frustum({0, 0, 0.1f}));    // before near plane
+  EXPECT_FALSE(cam.in_frustum({0, 0, -5.0f}));   // behind camera
+  // Just outside the image but within the 1.3x guard band: kept.
+  const float lim = cam.tan_half_fov_x() * 5.0f;
+  EXPECT_TRUE(cam.in_frustum({lim * 1.2f, 0, 5.0f}));
+  EXPECT_FALSE(cam.in_frustum({lim * 1.4f, 0, 5.0f}));
+}
+
+TEST(LookAt, HandlesDegenerateUpHint) {
+  // Looking straight down with up hint parallel to view direction.
+  const Mat4 m = look_at({0, 10, 0}, {0, 0, 0}, {0, -1, 0});
+  const Mat3 r = m.rotation_block();
+  const Mat3 rrt = r * r.transposed();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_NEAR(rrt(i, j), i == j ? 1.0f : 0.0f, kEps);
+  }
+}
+
+TEST(Ewa, IsotropicGaussianAtCenterScalesByFocalOverDepth) {
+  const Camera cam = test_camera();
+  // Isotropic world covariance sigma^2 I at the optical axis, depth z:
+  // screen covariance ~ (fx * sigma / z)^2 I + dilation.
+  const float sigma = 0.2f;
+  Mat3 cov3d{};
+  cov3d(0, 0) = cov3d(1, 1) = cov3d(2, 2) = sigma * sigma;
+  const Vec3 t{0, 0, 5.0f};
+  const Sym2 cov = project_covariance(cam, cov3d, t);
+  const float expected = std::pow(cam.fx() * sigma / 5.0f, 2.0f) + kCovarianceDilation;
+  EXPECT_NEAR(cov.xx, expected, 0.01f * expected);
+  EXPECT_NEAR(cov.yy, expected, 0.01f * expected);
+  EXPECT_NEAR(cov.xy, 0.0f, 0.01f * expected);
+}
+
+TEST(Ewa, FartherMeansSmaller) {
+  const Camera cam = test_camera();
+  Mat3 cov3d{};
+  cov3d(0, 0) = cov3d(1, 1) = cov3d(2, 2) = 0.04f;
+  const Sym2 near_cov = project_covariance(cam, cov3d, {0, 0, 2.0f});
+  const Sym2 far_cov = project_covariance(cam, cov3d, {0, 0, 20.0f});
+  EXPECT_GT(near_cov.xx, far_cov.xx);
+  EXPECT_GT(near_cov.yy, far_cov.yy);
+}
+
+TEST(Ewa, DilationGuaranteesMinimumSize) {
+  const Camera cam = test_camera();
+  Mat3 cov3d{};  // near-degenerate tiny Gaussian
+  cov3d(0, 0) = cov3d(1, 1) = cov3d(2, 2) = 1e-10f;
+  const Sym2 cov = project_covariance(cam, cov3d, {0, 0, 50.0f});
+  EXPECT_GE(cov.xx, kCovarianceDilation * 0.999f);
+  EXPECT_GE(cov.yy, kCovarianceDilation * 0.999f);
+  EXPECT_GT(cov.determinant(), 0.0f);
+}
+
+TEST(Ewa, OffAxisProducesAnisotropy) {
+  const Camera cam = test_camera();
+  Mat3 cov3d{};
+  cov3d(0, 0) = cov3d(1, 1) = cov3d(2, 2) = 0.04f;
+  // Far off-axis in both x and y: the perspective Jacobian shears the
+  // footprint (the xy term is proportional to x*y).
+  const float x = cam.tan_half_fov_x() * 5.0f * 0.9f;
+  const float y = cam.tan_half_fov_y() * 5.0f * 0.9f;
+  const Sym2 cov = project_covariance(cam, cov3d, {x, y, 5.0f});
+  EXPECT_NE(cov.xy, 0.0f);
+}
+
+}  // namespace
+}  // namespace gstg

@@ -1,0 +1,126 @@
+#include "common/half.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+
+namespace gstg {
+namespace {
+
+TEST(Half, ZeroRoundTrips) {
+  EXPECT_EQ(Half(0.0f).bits(), 0u);
+  EXPECT_EQ(Half(0.0f).to_float(), 0.0f);
+  EXPECT_EQ(Half(-0.0f).bits(), 0x8000u);
+  EXPECT_TRUE(std::signbit(Half(-0.0f).to_float()));
+}
+
+TEST(Half, ExactSmallIntegers) {
+  // Integers up to 2^11 are exactly representable in binary16.
+  for (int i = -2048; i <= 2048; i += 17) {
+    EXPECT_EQ(Half(static_cast<float>(i)).to_float(), static_cast<float>(i)) << i;
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(Half(1.0f).bits(), 0x3c00u);
+  EXPECT_EQ(Half(-2.0f).bits(), 0xc000u);
+  EXPECT_EQ(Half(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(Half(65504.0f).bits(), 0x7bffu);  // max normal half
+}
+
+TEST(Half, OverflowGoesToInfinity) {
+  EXPECT_TRUE(Half(65520.0f).is_inf());
+  EXPECT_TRUE(Half(1e30f).is_inf());
+  EXPECT_TRUE(Half(-1e30f).is_inf());
+  EXPECT_LT(Half(-1e30f).to_float(), 0.0f);
+  // Just below the rounding boundary stays finite.
+  EXPECT_FALSE(Half(65519.0f).is_inf());
+  EXPECT_EQ(Half(65519.0f).to_float(), 65504.0f);
+}
+
+TEST(Half, InfinityAndNanPreserved) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(Half(inf).is_inf());
+  EXPECT_EQ(Half(inf).to_float(), inf);
+  EXPECT_EQ(Half(-inf).to_float(), -inf);
+  EXPECT_TRUE(Half(std::numeric_limits<float>::quiet_NaN()).is_nan());
+  EXPECT_TRUE(std::isnan(Half(std::numeric_limits<float>::quiet_NaN()).to_float()));
+}
+
+TEST(Half, SubnormalsRoundTrip) {
+  // Smallest positive subnormal half: 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(Half(tiny).bits(), 0x0001u);
+  EXPECT_EQ(Half(tiny).to_float(), tiny);
+  // Below half the smallest subnormal rounds to zero.
+  EXPECT_EQ(Half(std::ldexp(1.0f, -26)).bits(), 0x0000u);
+  // Largest subnormal.
+  const float big_sub = std::ldexp(1023.0f, -24);
+  EXPECT_EQ(Half(big_sub).bits(), 0x03ffu);
+  EXPECT_EQ(Half(big_sub).to_float(), big_sub);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half; RNE keeps
+  // the even mantissa (1.0).
+  const float halfway_down = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(Half(halfway_down).bits(), 0x3c00u);
+  // 1 + 3*2^-11 is halfway between the 1st and 2nd step; rounds to even (2nd).
+  const float halfway_up = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+  EXPECT_EQ(Half(halfway_up).bits(), 0x3c02u);
+}
+
+TEST(Half, RoundTripIsIdempotent) {
+  std::mt19937 gen(7);
+  std::uniform_real_distribution<float> dist(-100.0f, 100.0f);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = dist(gen);
+    const float once = quantize_to_half(x);
+    EXPECT_EQ(quantize_to_half(once), once);
+  }
+}
+
+TEST(Half, AllBitPatternsRoundTripThroughFloat) {
+  // Every finite half value converts to float and back to the same bits —
+  // exhaustive over all 2^16 patterns.
+  for (std::uint32_t bits = 0; bits < 0x10000u; ++bits) {
+    const Half h = Half::from_bits(static_cast<std::uint16_t>(bits));
+    if (h.is_nan()) continue;  // NaN payloads need not be bit-preserved
+    const Half back(h.to_float());
+    EXPECT_EQ(back.bits(), h.bits()) << "pattern 0x" << std::hex << bits;
+    if (back.bits() != h.bits()) break;
+  }
+}
+
+TEST(Half, RelativeErrorBoundedForNormals) {
+  std::mt19937 gen(13);
+  std::uniform_real_distribution<float> mag(-4.0f, 4.0f);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = std::pow(10.0f, mag(gen));
+    const float q = quantize_to_half(x);
+    // Half has 11 significand bits: relative error <= 2^-11.
+    EXPECT_LE(std::fabs(q - x) / x, std::ldexp(1.0f, -11) + 1e-7f) << x;
+  }
+}
+
+class HalfMonotonicTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(HalfMonotonicTest, ConversionIsMonotonic) {
+  const float base = GetParam();
+  float prev = quantize_to_half(base);
+  for (int step = 1; step <= 200; ++step) {
+    const float x = base * (1.0f + static_cast<float>(step) * 1e-4f);
+    const float q = quantize_to_half(x);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, HalfMonotonicTest,
+                         ::testing::Values(1e-6f, 1e-3f, 0.1f, 1.0f, 42.0f, 1000.0f, 30000.0f));
+
+}  // namespace
+}  // namespace gstg

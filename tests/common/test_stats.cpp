@@ -1,0 +1,100 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace gstg {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStat, KnownSequence) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  std::mt19937 gen(3);
+  std::normal_distribution<double> dist(10.0, 4.0);
+  RunningStat whole, part1, part2;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist(gen);
+    whole.add(x);
+    (i < 400 ? part1 : part2).add(x);
+  }
+  part1.merge(part2);
+  EXPECT_EQ(part1.count(), whole.count());
+  EXPECT_NEAR(part1.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(part1.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(part1.min(), whole.min());
+  EXPECT_EQ(part1.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(GeometricMean, KnownValues) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0, 9.0}), 6.0);
+  EXPECT_NEAR(geometric_mean({1.0, 2.0, 4.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geometric_mean({5.0}), 5.0);
+}
+
+TEST(GeometricMean, RejectsInvalidInput) {
+  EXPECT_THROW(geometric_mean({}), std::invalid_argument);
+  EXPECT_THROW(geometric_mean({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(geometric_mean({1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x = 0.5; x < 10.0; x += 1.0) h.add(x);  // 10 samples
+  EXPECT_EQ(h.total(), 10u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(h.bin_count(i), 2u) << i;
+    EXPECT_DOUBLE_EQ(h.bin_lower_edge(i), 2.0 * static_cast<double>(i));
+  }
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge counts as overflow (half-open range)
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, RejectsDegenerateRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gstg

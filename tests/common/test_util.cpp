@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/runconfig.h"
+#include "common/table.h"
+
+namespace gstg {
+namespace {
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--scene=train", "--verbose", "input.ply", "--tile=16", "out"};
+  CliArgs args(6, argv);
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_EQ(args.get("scene", ""), "train");
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get_int("tile", 0), 16);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.ply");
+  EXPECT_EQ(args.positional()[1], "out");
+}
+
+TEST(Cli, FallbacksWork) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Cli, RequireKnownCatchesTypos) {
+  const char* argv[] = {"prog", "--tiel=16"};
+  CliArgs args(2, argv);
+  EXPECT_THROW(args.require_known({"tile", "scene"}), std::invalid_argument);
+  const char* argv2[] = {"prog", "--tile=16"};
+  CliArgs args2(2, argv2);
+  EXPECT_NO_THROW(args2.require_known({"tile", "scene"}));
+}
+
+TEST(Rng, DeterministicByName) {
+  Rng a("train"), b("train"), c("truck");
+  const float va = a.uniform(), vb = b.uniform(), vc = c.uniform();
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(42);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  EXPECT_NE(child1.uniform(), child2.uniform());
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = rng.uniform(2.0f, 3.0f);
+    EXPECT_GE(x, 2.0f);
+    EXPECT_LT(x, 3.0f);
+  }
+}
+
+TEST(Rng, Fnv1aKnownValue) {
+  // FNV-1a 64-bit of empty string is the offset basis.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  TextTable t("Demo");
+  t.set_header({"scene", "a", "b"});
+  t.add_row("train", {1.0, 2.5}, 1);
+  t.add_row({"longer-name", "10.0", "3"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("== Demo =="), std::string::npos);
+  EXPECT_NE(s.find("train"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  // Header separator exists.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, FormatFixedPrecision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-1.5, 1), "-1.5");
+}
+
+TEST(RunScale, EnvParsing) {
+  // The test harness sets GSTG_SCALE=small.
+  const RunScale s = run_scale_from_env();
+  EXPECT_EQ(s.resolution_divisor, 8);
+  EXPECT_EQ(s.gaussian_divisor, 64);
+  EXPECT_FALSE(s.is_full());
+}
+
+TEST(RunScale, WorkerThreadsPositive) {
+  EXPECT_GE(worker_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace gstg

@@ -1,0 +1,214 @@
+#include "core/grouping.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../test_helpers.h"
+#include "core/pipeline.h"
+#include "render/preprocess.h"
+#include "render/sort.h"
+
+namespace gstg {
+namespace {
+
+using testutil::make_camera;
+
+TEST(GsTgConfig, ValidatesGeometry) {
+  GsTgConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+  EXPECT_EQ(ok.tiles_per_side(), 4);
+  EXPECT_EQ(ok.tiles_per_group(), 16);
+
+  GsTgConfig misaligned;
+  misaligned.tile_size = 16;
+  misaligned.group_size = 40;  // not a multiple
+  EXPECT_THROW(misaligned.validate(), std::invalid_argument);
+
+  GsTgConfig too_many;
+  too_many.tile_size = 8;
+  too_many.group_size = 128;  // 256 tiles per group > 64-bit mask
+  EXPECT_THROW(too_many.validate(), std::invalid_argument);
+
+  GsTgConfig negative;
+  negative.tile_size = 0;
+  EXPECT_THROW(negative.validate(), std::invalid_argument);
+
+  GsTgConfig eight64;  // the Fig. 11 "8+64" point: exactly 64 tiles
+  eight64.tile_size = 8;
+  eight64.group_size = 64;
+  EXPECT_NO_THROW(eight64.validate());
+  EXPECT_EQ(eight64.tiles_per_group(), 64);
+}
+
+TEST(GsTgConfig, LosslessGuaranteeMatrix) {
+  GsTgConfig c;
+  const auto set = [&](Boundary group, Boundary mask) {
+    c.group_boundary = group;
+    c.mask_boundary = mask;
+    return c.lossless_guaranteed();
+  };
+  // Mask at least as tight as group: guaranteed.
+  EXPECT_TRUE(set(Boundary::kAabb, Boundary::kAabb));
+  EXPECT_TRUE(set(Boundary::kAabb, Boundary::kObb));
+  EXPECT_TRUE(set(Boundary::kAabb, Boundary::kEllipse));
+  EXPECT_TRUE(set(Boundary::kObb, Boundary::kObb));
+  EXPECT_TRUE(set(Boundary::kObb, Boundary::kEllipse));
+  EXPECT_TRUE(set(Boundary::kEllipse, Boundary::kEllipse));
+  // Looser mask than group: not guaranteed.
+  EXPECT_FALSE(set(Boundary::kEllipse, Boundary::kAabb));
+  EXPECT_FALSE(set(Boundary::kEllipse, Boundary::kObb));
+  EXPECT_FALSE(set(Boundary::kObb, Boundary::kAabb));
+}
+
+TEST(MaskBits, IndexLayout) {
+  EXPECT_EQ(mask_bit_index(0, 0, 4), 0);
+  EXPECT_EQ(mask_bit_index(3, 0, 4), 3);
+  EXPECT_EQ(mask_bit_index(0, 1, 4), 4);
+  EXPECT_EQ(mask_bit_index(3, 3, 4), 15);
+  EXPECT_EQ(mask_bit_index(7, 7, 8), 63);
+}
+
+/// The central set property behind losslessness (paper section IV-B): for
+/// every tile, { splats with the tile's bit set in their group entry } ==
+/// { splats in the baseline per-tile list with the same boundary }.
+TEST(Bitmasks, FilteredSetsEqualBaselineTileSets) {
+  const Camera cam = make_camera(320, 256);
+  const GaussianCloud cloud = testutil::make_random_cloud(1200, 61);
+  GsTgConfig config;
+  config.tile_size = 16;
+  config.group_size = 64;
+  config.group_boundary = Boundary::kEllipse;
+  config.mask_boundary = Boundary::kEllipse;
+
+  const GsTgFrameData data = build_gstg_frame(cloud, cam, config);
+
+  RenderConfig rc;
+  rc.tile_size = 16;
+  rc.boundary = Boundary::kEllipse;
+  RenderCounters counters;
+  const auto splats = preprocess(cloud, cam, rc, counters);
+  const CellGrid tile_grid = CellGrid::over_image(cam.width(), cam.height(), 16);
+  const BinnedSplats baseline = bin_splats(splats, tile_grid, rc.boundary, 0, counters);
+
+  const int r = config.tiles_per_side();
+  for (int ty = 0; ty < tile_grid.cells_y; ++ty) {
+    for (int tx = 0; tx < tile_grid.cells_x; ++tx) {
+      const int t = tile_grid.cell_index(tx, ty);
+      std::set<std::uint32_t> expected;
+      for (const auto id : baseline.cell_list(t)) {
+        expected.insert(splats[id].index);
+      }
+      const int gx = tx / r, gy = ty / r;
+      const std::size_t g =
+          static_cast<std::size_t>(data.frame.group_grid.cell_index(gx, gy));
+      const TileMask bit = TileMask{1} << mask_bit_index(tx - gx * r, ty - gy * r, r);
+      std::set<std::uint32_t> actual;
+      for (std::uint32_t e = data.frame.group_bins.offsets[g];
+           e < data.frame.group_bins.offsets[g + 1]; ++e) {
+        if (data.frame.masks[e] & bit) {
+          actual.insert(data.splats[data.frame.group_bins.splat_ids[e]].index);
+        }
+      }
+      EXPECT_EQ(actual, expected) << "tile (" << tx << "," << ty << ")";
+    }
+  }
+}
+
+TEST(Bitmasks, NoBitsOutsideGroupWindow) {
+  const Camera cam = make_camera(200, 150);  // non-multiple image size: edge groups
+  const GaussianCloud cloud = testutil::make_random_cloud(600, 67);
+  GsTgConfig config;
+  config.tile_size = 16;
+  config.group_size = 64;
+  const GsTgFrameData data = build_gstg_frame(cloud, cam, config);
+  const CellGrid& tiles = data.frame.tile_grid;
+  const CellGrid& groups = data.frame.group_grid;
+  const int rr = config.tiles_per_side();
+
+  for (int gy = 0; gy < groups.cells_y; ++gy) {
+    for (int gx = 0; gx < groups.cells_x; ++gx) {
+      const std::size_t g = static_cast<std::size_t>(groups.cell_index(gx, gy));
+      // Bits for tiles beyond the image's tile grid must never be set.
+      TileMask legal = 0;
+      for (int ly = 0; ly < rr; ++ly) {
+        for (int lx = 0; lx < rr; ++lx) {
+          if (gx * rr + lx < tiles.cells_x && gy * rr + ly < tiles.cells_y) {
+            legal |= TileMask{1} << mask_bit_index(lx, ly, rr);
+          }
+        }
+      }
+      for (std::uint32_t e = data.frame.group_bins.offsets[g];
+           e < data.frame.group_bins.offsets[g + 1]; ++e) {
+        EXPECT_EQ(data.frame.masks[e] & ~legal, 0u);
+      }
+    }
+  }
+}
+
+TEST(SortGroups, MasksTravelWithTheirSplats) {
+  const Camera cam = make_camera();
+  const GaussianCloud cloud = testutil::make_random_cloud(400, 71);
+  GsTgConfig config;
+  const GsTgFrameData data = build_gstg_frame(cloud, cam, config);
+
+  // Recompute masks from scratch for the *sorted* bins: each entry's mask
+  // must match a fresh mask computed for its splat.
+  RenderCounters scratch;
+  const auto fresh = generate_bitmasks(data.splats, data.frame.group_bins, data.frame.tile_grid,
+                                       config, scratch);
+  ASSERT_EQ(fresh.size(), data.frame.masks.size());
+  for (std::size_t e = 0; e < fresh.size(); ++e) {
+    EXPECT_EQ(fresh[e], data.frame.masks[e]) << "entry " << e;
+  }
+}
+
+TEST(SortGroups, GroupListsAreDepthSorted) {
+  const Camera cam = make_camera();
+  const GaussianCloud cloud = testutil::make_random_cloud(700, 73);
+  GsTgConfig config;
+  const GsTgFrameData data = build_gstg_frame(cloud, cam, config);
+  const auto& bins = data.frame.group_bins;
+  for (int g = 0; g < bins.grid.cell_count(); ++g) {
+    const auto list = bins.cell_list(g);
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      const auto& a = data.splats[list[i - 1]];
+      const auto& b = data.splats[list[i]];
+      EXPECT_TRUE(a.depth < b.depth || (a.depth == b.depth && a.index < b.index));
+    }
+  }
+}
+
+TEST(Grouping, GroupPairsFarFewerThanTilePairs) {
+  // The sorting-reduction claim: group-level pairs (GS-TG sort volume) are
+  // much fewer than tile-level pairs (baseline sort volume).
+  const Camera cam = make_camera(320, 256);
+  const GaussianCloud cloud = testutil::make_random_cloud(1500, 79);
+  GsTgConfig config;
+  const GsTgFrameData data = build_gstg_frame(cloud, cam, config);
+
+  RenderConfig rc;
+  rc.tile_size = config.tile_size;
+  rc.boundary = config.mask_boundary;
+  RenderCounters counters;
+  const auto splats = preprocess(cloud, cam, rc, counters);
+  const CellGrid tile_grid = CellGrid::over_image(cam.width(), cam.height(), rc.tile_size);
+  bin_splats(splats, tile_grid, rc.boundary, 0, counters);
+
+  const std::size_t group_pairs = data.frame.group_bins.splat_ids.size();
+  EXPECT_LT(group_pairs, counters.tile_pairs);
+}
+
+TEST(Grouping, MismatchedMaskArrayThrows) {
+  const Camera cam = make_camera();
+  const GaussianCloud cloud = testutil::make_random_cloud(100, 83);
+  GsTgConfig config;
+  GsTgFrameData data = build_gstg_frame(cloud, cam, config);
+  std::vector<TileMask> wrong(data.frame.masks.size() + 1, 0);
+  RenderCounters counters;
+  EXPECT_THROW(sort_groups(data.frame.group_bins, wrong, data.splats, 1, counters),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gstg

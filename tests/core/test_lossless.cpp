@@ -1,0 +1,159 @@
+// The paper's central claim (sections I and IV-B): "GS-TG is a completely
+// lossless technique". These tests assert *bit-exact* equality between the
+// baseline per-tile pipeline and the GS-TG grouped pipeline across tile and
+// group geometries and every boundary combination with the containment
+// guarantee, on multiple scenes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "../test_helpers.h"
+#include "core/pipeline.h"
+#include "render/pipeline.h"
+#include "scene/scene.h"
+
+namespace gstg {
+namespace {
+
+using testutil::make_camera;
+
+struct LosslessCase {
+  int tile = 16;
+  int group = 64;
+  Boundary group_boundary = Boundary::kEllipse;
+  Boundary mask_boundary = Boundary::kEllipse;
+};
+
+std::string case_name(const ::testing::TestParamInfo<LosslessCase>& info) {
+  const LosslessCase& c = info.param;
+  return std::string(to_string(c.group_boundary)) + "_" + to_string(c.mask_boundary) + "_t" +
+         std::to_string(c.tile) + "_g" + std::to_string(c.group);
+}
+
+class LosslessTest : public ::testing::TestWithParam<LosslessCase> {};
+
+TEST_P(LosslessTest, GsTgImageIsBitExactVsBaseline) {
+  const LosslessCase& c = GetParam();
+  const Camera cam = make_camera(240, 176);
+  const GaussianCloud cloud = testutil::make_random_cloud(1200, 91);
+
+  RenderConfig baseline;
+  baseline.tile_size = c.tile;
+  baseline.boundary = c.mask_boundary;  // rasterization tile sets must match
+  const RenderResult ref = render_baseline(cloud, cam, baseline);
+
+  GsTgConfig config;
+  config.tile_size = c.tile;
+  config.group_size = c.group;
+  config.group_boundary = c.group_boundary;
+  config.mask_boundary = c.mask_boundary;
+  ASSERT_TRUE(config.lossless_guaranteed());
+  const RenderResult ours = render_gstg(cloud, cam, config);
+
+  EXPECT_EQ(max_abs_diff(ref.image, ours.image), 0.0f);
+  // Rasterization does exactly the same work (same filtered sequences).
+  EXPECT_EQ(ref.counters.alpha_computations, ours.counters.alpha_computations);
+  EXPECT_EQ(ref.counters.blend_ops, ours.counters.blend_ops);
+  EXPECT_EQ(ref.counters.early_exit_pixels, ours.counters.early_exit_pixels);
+  // ... while sorting no more (strictly less whenever groups really span
+  // multiple tiles; equal in the degenerate group==tile configuration).
+  EXPECT_LE(ours.counters.sort_pairs, ref.counters.sort_pairs);
+  if (c.group > c.tile) {
+    EXPECT_LT(ours.counters.sort_pairs, ref.counters.sort_pairs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundaryCombos, LosslessTest,
+    ::testing::Values(
+        LosslessCase{16, 64, Boundary::kAabb, Boundary::kAabb},
+        LosslessCase{16, 64, Boundary::kAabb, Boundary::kObb},
+        LosslessCase{16, 64, Boundary::kAabb, Boundary::kEllipse},
+        LosslessCase{16, 64, Boundary::kObb, Boundary::kObb},
+        LosslessCase{16, 64, Boundary::kObb, Boundary::kEllipse},
+        LosslessCase{16, 64, Boundary::kEllipse, Boundary::kEllipse}),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    TileGroupGeometries, LosslessTest,
+    ::testing::Values(
+        LosslessCase{8, 16, Boundary::kEllipse, Boundary::kEllipse},
+        LosslessCase{8, 32, Boundary::kEllipse, Boundary::kEllipse},
+        LosslessCase{8, 64, Boundary::kEllipse, Boundary::kEllipse},  // 64-bit mask
+        LosslessCase{16, 32, Boundary::kEllipse, Boundary::kEllipse},
+        LosslessCase{32, 64, Boundary::kAabb, Boundary::kAabb},
+        LosslessCase{16, 16, Boundary::kEllipse, Boundary::kEllipse}),  // 1 tile/group
+    case_name);
+
+class LosslessSceneTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LosslessSceneTest, BitExactOnSyntheticScenes) {
+  const Scene scene = generate_scene(GetParam(), RunScale{8, 256});
+  RenderConfig baseline;
+  baseline.tile_size = 16;
+  baseline.boundary = Boundary::kEllipse;
+  const RenderResult ref = render_baseline(scene.cloud, scene.camera, baseline);
+
+  GsTgConfig config;
+  const RenderResult ours = render_gstg(scene.cloud, scene.camera, config);
+  EXPECT_EQ(max_abs_diff(ref.image, ours.image), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenes, LosslessSceneTest,
+                         ::testing::Values("train", "truck", "drjohnson", "playroom"));
+
+TEST(Lossless, NonMultipleImageSizes) {
+  // Edge tiles and edge groups (image not a multiple of tile or group).
+  const Camera cam = make_camera(250, 187);
+  const GaussianCloud cloud = testutil::make_random_cloud(900, 97);
+  RenderConfig baseline;
+  baseline.tile_size = 16;
+  baseline.boundary = Boundary::kEllipse;
+  const RenderResult ref = render_baseline(cloud, cam, baseline);
+  GsTgConfig config;
+  const RenderResult ours = render_gstg(cloud, cam, config);
+  EXPECT_EQ(max_abs_diff(ref.image, ours.image), 0.0f);
+}
+
+TEST(Lossless, OpacityAwareRhoModeAlsoExact) {
+  const Camera cam = make_camera(160, 120);
+  const GaussianCloud cloud = testutil::make_random_cloud(700, 101);
+  RenderConfig baseline;
+  baseline.tile_size = 16;
+  baseline.boundary = Boundary::kEllipse;
+  baseline.opacity_aware_rho = true;
+  const RenderResult ref = render_baseline(cloud, cam, baseline);
+  GsTgConfig config;
+  config.opacity_aware_rho = true;
+  const RenderResult ours = render_gstg(cloud, cam, config);
+  EXPECT_EQ(max_abs_diff(ref.image, ours.image), 0.0f);
+}
+
+TEST(Lossless, GsTgDeterministicAcrossThreads) {
+  const Camera cam = make_camera(160, 120);
+  const GaussianCloud cloud = testutil::make_random_cloud(600, 103);
+  GsTgConfig one;
+  one.threads = 1;
+  GsTgConfig four;
+  four.threads = 4;
+  const RenderResult a = render_gstg(cloud, cam, one);
+  const RenderResult b = render_gstg(cloud, cam, four);
+  EXPECT_EQ(max_abs_diff(a.image, b.image), 0.0f);
+  EXPECT_EQ(a.counters.alpha_computations, b.counters.alpha_computations);
+  EXPECT_EQ(a.counters.bitmask_tests, b.counters.bitmask_tests);
+}
+
+TEST(Lossless, StageTimesAttributed) {
+  const Camera cam = make_camera(160, 120);
+  const GaussianCloud cloud = testutil::make_random_cloud(600, 107);
+  const RenderResult r = render_gstg(cloud, cam, GsTgConfig{});
+  EXPECT_GE(r.times.preprocess_ms, 0.0);
+  EXPECT_GE(r.times.bitmask_ms, 0.0);
+  EXPECT_GE(r.times.sort_ms, 0.0);
+  EXPECT_GE(r.times.raster_ms, 0.0);
+  EXPECT_GT(r.counters.bitmask_tests, 0u);
+  EXPECT_GT(r.counters.filter_checks, 0u);
+}
+
+}  // namespace
+}  // namespace gstg

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "gaussian/cloud.h"
+
+namespace gstg {
+namespace {
+
+TEST(Cloud, SizeAndDegreeBookkeeping) {
+  GaussianCloud cloud(2);
+  EXPECT_TRUE(cloud.empty());
+  EXPECT_EQ(cloud.sh_degree(), 2);
+  EXPECT_EQ(cloud.sh_floats_per_gaussian(), 27u);  // 3 * 9
+  cloud.add_solid({0, 0, 0}, {1, 1, 1}, Quat{}, 0.5f, {0.5f, 0.5f, 0.5f});
+  EXPECT_EQ(cloud.size(), 1u);
+}
+
+TEST(Cloud, RejectsBadDegree) {
+  EXPECT_THROW(GaussianCloud(-1), std::invalid_argument);
+  EXPECT_THROW(GaussianCloud(4), std::invalid_argument);
+}
+
+TEST(Cloud, AddValidatesInput) {
+  GaussianCloud cloud(0);
+  const std::vector<float> sh(3, 0.0f);
+  const std::vector<float> sh_wrong(5, 0.0f);
+  EXPECT_THROW(cloud.add({0, 0, 0}, {1, 1, 1}, Quat{}, 0.5f, sh_wrong), std::invalid_argument);
+  EXPECT_THROW(cloud.add({0, 0, 0}, {0, 1, 1}, Quat{}, 0.5f, sh), std::invalid_argument);
+  EXPECT_THROW(cloud.add({0, 0, 0}, {1, 1, 1}, Quat{}, 1.5f, sh), std::invalid_argument);
+  EXPECT_THROW(cloud.add({0, 0, 0}, {1, 1, 1}, Quat{}, -0.1f, sh), std::invalid_argument);
+  EXPECT_NO_THROW(cloud.add({0, 0, 0}, {1, 1, 1}, Quat{}, 0.5f, sh));
+}
+
+TEST(Cloud, RotationIsNormalizedOnAdd) {
+  GaussianCloud cloud(0);
+  const std::vector<float> sh(3, 0.0f);
+  cloud.add({0, 0, 0}, {1, 1, 1}, Quat{2, 0, 0, 0}, 0.5f, sh);
+  EXPECT_NEAR(length(cloud.rotation(0)), 1.0f, 1e-6f);
+}
+
+TEST(Cloud, SolidColorRoundTrips) {
+  GaussianCloud cloud(3);
+  cloud.add_solid({0, 0, 0}, {1, 1, 1}, Quat{}, 0.7f, {0.9f, 0.2f, 0.4f});
+  const auto sh = cloud.sh(0);
+  constexpr float kY0 = 0.28209479177387814f;
+  EXPECT_NEAR(0.5f + sh[0] * kY0, 0.9f, 1e-5f);
+  EXPECT_NEAR(0.5f + sh[16] * kY0, 0.2f, 1e-5f);
+  EXPECT_NEAR(0.5f + sh[32] * kY0, 0.4f, 1e-5f);
+}
+
+TEST(Cloud, AxisAlignedCovarianceIsDiagonal) {
+  GaussianCloud cloud(0);
+  const std::vector<float> sh(3, 0.0f);
+  cloud.add({0, 0, 0}, {2.0f, 3.0f, 0.5f}, Quat{}, 0.5f, sh);
+  const Mat3 cov = cloud.covariance3d(0);
+  EXPECT_NEAR(cov(0, 0), 4.0f, 1e-5f);
+  EXPECT_NEAR(cov(1, 1), 9.0f, 1e-5f);
+  EXPECT_NEAR(cov(2, 2), 0.25f, 1e-5f);
+  EXPECT_NEAR(cov(0, 1), 0.0f, 1e-6f);
+}
+
+TEST(Cloud, CovarianceInvariants) {
+  // cov = R S S^T R^T: symmetric, det = (sx sy sz)^2, trace preserved under
+  // rotation.
+  std::mt19937 gen(29);
+  std::uniform_real_distribution<float> d(-1.0f, 1.0f);
+  std::uniform_real_distribution<float> s(0.2f, 3.0f);
+  GaussianCloud cloud(0);
+  const std::vector<float> sh(3, 0.0f);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 scale{s(gen), s(gen), s(gen)};
+    const Quat rot = normalized(Quat{d(gen), d(gen), d(gen), d(gen)});
+    cloud.add({0, 0, 0}, scale, rot, 0.5f, sh);
+    const Mat3 cov = cloud.covariance3d(cloud.size() - 1);
+    EXPECT_NEAR(cov(0, 1), cov(1, 0), 1e-4f);
+    EXPECT_NEAR(cov(0, 2), cov(2, 0), 1e-4f);
+    EXPECT_NEAR(cov(1, 2), cov(2, 1), 1e-4f);
+    const float det_expected = std::pow(scale.x * scale.y * scale.z, 2.0f);
+    EXPECT_NEAR(cov.determinant(), det_expected, 0.01f * det_expected);
+    const float tr_expected =
+        scale.x * scale.x + scale.y * scale.y + scale.z * scale.z;
+    EXPECT_NEAR(cov(0, 0) + cov(1, 1) + cov(2, 2), tr_expected, 0.01f * tr_expected);
+  }
+}
+
+TEST(Cloud, BytesPerGaussian) {
+  GaussianCloud deg3(3);
+  // 3 + 3 + 4 + 1 + 48 = 59 scalars.
+  EXPECT_EQ(deg3.bytes_per_gaussian(2), 118u);
+  EXPECT_EQ(deg3.bytes_per_gaussian(4), 236u);
+  GaussianCloud deg0(0);
+  EXPECT_EQ(deg0.bytes_per_gaussian(2), 28u);  // 14 scalars
+}
+
+}  // namespace
+}  // namespace gstg

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <sstream>
+
+#include "common/half.h"
+#include "gaussian/ply_io.h"
+#include "gaussian/quantize.h"
+
+namespace gstg {
+namespace {
+
+GaussianCloud make_random_cloud(int degree, std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<float> pos(-10.0f, 10.0f);
+  std::uniform_real_distribution<float> scl(0.01f, 2.0f);
+  std::uniform_real_distribution<float> rot(-1.0f, 1.0f);
+  std::uniform_real_distribution<float> op(0.05f, 0.95f);
+  std::uniform_real_distribution<float> coeff(-1.0f, 1.0f);
+  GaussianCloud cloud(degree);
+  std::vector<float> sh(cloud.sh_floats_per_gaussian());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (float& c : sh) c = coeff(gen);
+    cloud.add({pos(gen), pos(gen), pos(gen)}, {scl(gen), scl(gen), scl(gen)},
+              Quat{rot(gen), rot(gen), rot(gen), rot(gen)}, op(gen), sh);
+  }
+  return cloud;
+}
+
+class PlyRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlyRoundTripTest, WriteReadPreservesActivatedValues) {
+  const int degree = GetParam();
+  const GaussianCloud original = make_random_cloud(degree, 50, 77 + degree);
+  std::stringstream buffer;
+  write_gaussian_ply(buffer, original);
+  const GaussianCloud loaded = read_gaussian_ply(buffer);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.sh_degree(), degree);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(loaded.position(i).x, original.position(i).x, 1e-5f);
+    EXPECT_NEAR(loaded.position(i).y, original.position(i).y, 1e-5f);
+    EXPECT_NEAR(loaded.position(i).z, original.position(i).z, 1e-5f);
+    // Scales survive log/exp; opacity survives logit/sigmoid.
+    EXPECT_NEAR(loaded.scale(i).x, original.scale(i).x, 1e-4f * original.scale(i).x + 1e-6f);
+    EXPECT_NEAR(loaded.opacity(i), original.opacity(i), 1e-5f);
+    // Rotation is normalised on both sides; compare up to sign.
+    const Quat a = original.rotation(i), b = loaded.rotation(i);
+    const float dot_q = a.w * b.w + a.x * b.x + a.y * b.y + a.z * b.z;
+    EXPECT_NEAR(std::fabs(dot_q), 1.0f, 1e-5f);
+    const auto sh_a = original.sh(i);
+    const auto sh_b = loaded.sh(i);
+    for (std::size_t k = 0; k < sh_a.size(); ++k) {
+      EXPECT_NEAR(sh_b[k], sh_a[k], 1e-6f) << "gaussian " << i << " coeff " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PlyRoundTripTest, ::testing::Values(0, 1, 2, 3));
+
+TEST(Ply, HeaderRejectsBadMagic) {
+  std::stringstream in("plx\nend_header\n");
+  EXPECT_THROW(read_gaussian_ply(in), std::runtime_error);
+}
+
+TEST(Ply, HeaderRejectsAsciiFormat) {
+  std::stringstream in("ply\nformat ascii 1.0\nelement vertex 0\nend_header\n");
+  EXPECT_THROW(read_gaussian_ply(in), std::runtime_error);
+}
+
+TEST(Ply, RejectsMissingProperties) {
+  std::stringstream in(
+      "ply\nformat binary_little_endian 1.0\nelement vertex 1\n"
+      "property float x\nproperty float y\nend_header\n");
+  EXPECT_THROW(read_gaussian_ply(in), std::runtime_error);
+}
+
+TEST(Ply, RejectsTruncatedBody) {
+  const GaussianCloud cloud = make_random_cloud(1, 4, 5);
+  std::stringstream buffer;
+  write_gaussian_ply(buffer, cloud);
+  std::string data = buffer.str();
+  data.resize(data.size() - 16);  // chop the last vertex short
+  std::stringstream truncated(data);
+  EXPECT_THROW(read_gaussian_ply(truncated), std::runtime_error);
+}
+
+TEST(Ply, FileRoundTrip) {
+  const GaussianCloud cloud = make_random_cloud(2, 10, 123);
+  const std::string path = ::testing::TempDir() + "/gstg_test_cloud.ply";
+  write_gaussian_ply_file(path, cloud);
+  const GaussianCloud loaded = read_gaussian_ply_file(path);
+  EXPECT_EQ(loaded.size(), cloud.size());
+  EXPECT_EQ(loaded.sh_degree(), 2);
+}
+
+TEST(Ply, MissingFileThrows) {
+  EXPECT_THROW(read_gaussian_ply_file("/nonexistent/not_there.ply"), std::runtime_error);
+}
+
+TEST(Quantize, ValuesBecomeFp16Representable) {
+  GaussianCloud cloud = make_random_cloud(3, 100, 9);
+  quantize_cloud_to_fp16(cloud);
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const Vec3 p = cloud.position(i);
+    EXPECT_EQ(p.x, quantize_to_half(p.x));
+    EXPECT_EQ(p.y, quantize_to_half(p.y));
+    const float o = cloud.opacity(i);
+    EXPECT_EQ(o, quantize_to_half(o));
+    for (const float c : cloud.sh(i)) {
+      EXPECT_EQ(c, quantize_to_half(c));
+    }
+  }
+}
+
+TEST(Quantize, ReportsBoundedErrors) {
+  GaussianCloud cloud = make_random_cloud(3, 500, 31);
+  const QuantizeReport report = quantize_cloud_to_fp16(cloud);
+  // Positions are in [-10, 10]: absolute fp16 step there is ~2^-10 * 8.
+  EXPECT_GT(report.max_position_error, 0.0f);
+  EXPECT_LT(report.max_position_error, 0.01f);
+  EXPECT_LT(report.max_scale_rel_error, std::ldexp(1.0f, -11) * 1.01f);
+  EXPECT_LT(report.max_opacity_error, 1e-3f);
+  EXPECT_LT(report.max_sh_error, 1e-3f);
+}
+
+TEST(Quantize, SecondPassIsAlmostIdentity) {
+  GaussianCloud cloud = make_random_cloud(2, 100, 55);
+  quantize_cloud_to_fp16(cloud);
+  GaussianCloud again = cloud;
+  const QuantizeReport report = quantize_cloud_to_fp16(again);
+  // All parameter groups except rotations (renormalised in fp32) are fixed
+  // points of the second pass.
+  EXPECT_EQ(report.max_position_error, 0.0f);
+  EXPECT_EQ(report.max_opacity_error, 0.0f);
+  EXPECT_EQ(report.max_sh_error, 0.0f);
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    EXPECT_EQ(cloud.position(i), again.position(i));
+    EXPECT_EQ(cloud.opacity(i), again.opacity(i));
+  }
+}
+
+TEST(Quantize, OpacityStaysInDomain) {
+  GaussianCloud cloud(0);
+  const std::vector<float> sh(3, 0.0f);
+  cloud.add({0, 0, 0}, {1, 1, 1}, Quat{}, 1.0f, sh);
+  cloud.add({0, 0, 0}, {1, 1, 1}, Quat{}, 0.0f, sh);
+  quantize_cloud_to_fp16(cloud);
+  EXPECT_LE(cloud.opacity(0), 1.0f);
+  EXPECT_GE(cloud.opacity(1), 0.0f);
+}
+
+}  // namespace
+}  // namespace gstg

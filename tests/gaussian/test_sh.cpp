@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "gaussian/sh.h"
+
+namespace gstg {
+namespace {
+
+Vec3 random_unit(std::mt19937& gen) {
+  std::normal_distribution<float> n(0.0f, 1.0f);
+  return normalized(Vec3{n(gen), n(gen), n(gen)});
+}
+
+TEST(Sh, CoeffCounts) {
+  EXPECT_EQ(sh_coeff_count(0), 1u);
+  EXPECT_EQ(sh_coeff_count(1), 4u);
+  EXPECT_EQ(sh_coeff_count(2), 9u);
+  EXPECT_EQ(sh_coeff_count(3), 16u);
+}
+
+TEST(Sh, BasisDegreeZeroIsConstant) {
+  std::mt19937 gen(3);
+  for (int i = 0; i < 20; ++i) {
+    std::array<float, 16> basis{};
+    eval_sh_basis(0, random_unit(gen), basis);
+    EXPECT_FLOAT_EQ(basis[0], 0.28209479177387814f);
+  }
+}
+
+TEST(Sh, BasisKnownDirections) {
+  std::array<float, 16> basis{};
+  eval_sh_basis(3, {0, 0, 1}, basis);  // +z
+  EXPECT_NEAR(basis[1], 0.0f, 1e-6f);               // -c1 * y
+  EXPECT_NEAR(basis[2], 0.4886025119f, 1e-6f);      // c1 * z
+  EXPECT_NEAR(basis[3], 0.0f, 1e-6f);               // -c1 * x
+  EXPECT_NEAR(basis[6], 0.31539156525f * 2.0f, 1e-5f);  // (2z^2 - x^2 - y^2)
+  eval_sh_basis(3, {1, 0, 0}, basis);  // +x
+  EXPECT_NEAR(basis[3], -0.4886025119f, 1e-6f);
+  EXPECT_NEAR(basis[8], 0.5462742153f, 1e-5f);  // c * (x^2 - y^2)
+}
+
+TEST(Sh, BasisRejectsBadArgs) {
+  std::array<float, 16> basis{};
+  EXPECT_THROW(eval_sh_basis(4, {0, 0, 1}, basis), std::invalid_argument);
+  EXPECT_THROW(eval_sh_basis(-1, {0, 0, 1}, basis), std::invalid_argument);
+  std::array<float, 2> tiny{};
+  EXPECT_THROW(eval_sh_basis(1, {0, 0, 1}, tiny), std::invalid_argument);
+}
+
+TEST(Sh, BasisOrthonormalUnderSphereIntegral) {
+  // Monte-Carlo check of orthonormality: E[4pi Yi Yj] = delta_ij.
+  std::mt19937 gen(11);
+  constexpr int kSamples = 200000;
+  std::array<std::array<double, 16>, 16> gram{};
+  std::array<float, 16> basis{};
+  for (int s = 0; s < kSamples; ++s) {
+    eval_sh_basis(3, random_unit(gen), basis);
+    for (int i = 0; i < 16; ++i) {
+      for (int j = i; j < 16; ++j) {
+        gram[i][j] += static_cast<double>(basis[i]) * basis[j];
+      }
+    }
+  }
+  const double norm = 4.0 * M_PI / kSamples;
+  for (int i = 0; i < 16; ++i) {
+    for (int j = i; j < 16; ++j) {
+      const double expected = (i == j) ? 1.0 : 0.0;
+      EXPECT_NEAR(gram[i][j] * norm, expected, 0.05) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(ShColor, DcOnlyGivesOffsetColor) {
+  // With only the DC coefficient, colour = 0.5 + c0 * Y0 for any direction.
+  std::vector<float> coeffs(3 * 16, 0.0f);
+  constexpr float kY0 = 0.28209479177387814f;
+  coeffs[0 * 16] = (0.8f - 0.5f) / kY0;
+  coeffs[1 * 16] = (0.4f - 0.5f) / kY0;
+  coeffs[2 * 16] = (0.1f - 0.5f) / kY0;
+  std::mt19937 gen(7);
+  for (int i = 0; i < 20; ++i) {
+    const Vec3 rgb = eval_sh_color(3, coeffs, random_unit(gen));
+    EXPECT_NEAR(rgb.x, 0.8f, 1e-5f);
+    EXPECT_NEAR(rgb.y, 0.4f, 1e-5f);
+    EXPECT_NEAR(rgb.z, 0.1f, 1e-5f);
+  }
+}
+
+TEST(ShColor, ClampsNegative) {
+  std::vector<float> coeffs(3 * 1, 0.0f);
+  coeffs[0] = -10.0f;  // drives red strongly negative
+  const Vec3 rgb = eval_sh_color(0, coeffs, {0, 0, 1});
+  EXPECT_EQ(rgb.x, 0.0f);
+  EXPECT_NEAR(rgb.y, 0.5f, 1e-6f);
+}
+
+TEST(ShColor, ViewDependenceFromDegree1) {
+  std::vector<float> coeffs(3 * 4, 0.0f);
+  coeffs[0 * 4 + 2] = 1.0f;  // red varies with z of the direction
+  const Vec3 plus_z = eval_sh_color(1, coeffs, {0, 0, 1});
+  const Vec3 minus_z = eval_sh_color(1, coeffs, {0, 0, -1});
+  EXPECT_GT(plus_z.x, minus_z.x);
+  EXPECT_FLOAT_EQ(plus_z.y, minus_z.y);
+}
+
+TEST(ShColor, RejectsShortSpan) {
+  std::vector<float> coeffs(5, 0.0f);
+  EXPECT_THROW(eval_sh_color(1, coeffs, {0, 0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gstg

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "geometry/intersect.h"
+
+namespace gstg {
+namespace {
+
+Sym2 random_spd(std::mt19937& gen, float scale) {
+  std::uniform_real_distribution<float> dist(-scale, scale);
+  const float a = dist(gen), b = dist(gen), c = dist(gen), d = dist(gen);
+  return Sym2{a * a + b * b + 0.2f, a * c + b * d, c * c + d * d + 0.2f};
+}
+
+/// Brute-force minimum of the Mahalanobis form over a rect by dense grid
+/// sampling — the oracle for the closed-form QP solution.
+float brute_force_min(const Sym2& conic, Vec2 mu, const Rect& rect, int steps = 200) {
+  float best = std::numeric_limits<float>::max();
+  for (int i = 0; i <= steps; ++i) {
+    for (int j = 0; j <= steps; ++j) {
+      const Vec2 p{rect.x0 + rect.width() * static_cast<float>(i) / static_cast<float>(steps),
+                   rect.y0 + rect.height() * static_cast<float>(j) / static_cast<float>(steps)};
+      best = std::min(best, conic.quad(p - mu));
+    }
+  }
+  return best;
+}
+
+TEST(MinMahalanobis, ZeroWhenCenterInside) {
+  const Sym2 q{1.0f, 0.0f, 1.0f};
+  const Rect r{0, 0, 10, 10};
+  EXPECT_EQ(min_mahalanobis_sq_on_rect(q, {5.0f, 5.0f}, r), 0.0f);
+  EXPECT_EQ(min_mahalanobis_sq_on_rect(q, {0.0f, 0.0f}, r), 0.0f);  // boundary counts
+}
+
+TEST(MinMahalanobis, IsotropicMatchesEuclidean) {
+  const Sym2 q{1.0f, 0.0f, 1.0f};
+  const Rect r{0, 0, 4, 4};
+  // Center to the left: closest point (0, 2), distance 3.
+  EXPECT_NEAR(min_mahalanobis_sq_on_rect(q, {-3.0f, 2.0f}, r), 9.0f, 1e-5f);
+  // Corner case: closest point (0, 0), distance sqrt(2).
+  EXPECT_NEAR(min_mahalanobis_sq_on_rect(q, {-1.0f, -1.0f}, r), 2.0f, 1e-5f);
+}
+
+TEST(MinMahalanobis, RejectsInvalidRect) {
+  const Sym2 q{1.0f, 0.0f, 1.0f};
+  EXPECT_THROW(min_mahalanobis_sq_on_rect(q, {0, 0}, Rect{5, 0, 0, 10}), std::invalid_argument);
+}
+
+class MinMahalanobisPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinMahalanobisPropertyTest, MatchesBruteForce) {
+  std::mt19937 gen(static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<float> pos(-12.0f, 12.0f);
+  std::uniform_real_distribution<float> sz(0.5f, 8.0f);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Sym2 cov = random_spd(gen, 3.0f);
+    const Sym2 conic = inverse(cov);
+    const Vec2 mu{pos(gen), pos(gen)};
+    const float x0 = pos(gen), y0 = pos(gen);
+    const Rect rect{x0, y0, x0 + sz(gen), y0 + sz(gen)};
+    const float exact = min_mahalanobis_sq_on_rect(conic, mu, rect);
+    const float sampled = brute_force_min(conic, mu, rect);
+    // The sampled oracle can only overestimate the true minimum.
+    EXPECT_LE(exact, sampled + 1e-4f);
+    EXPECT_NEAR(exact, sampled, 0.05f * std::max(1.0f, sampled));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinMahalanobisPropertyTest, ::testing::Values(11, 22, 33, 44));
+
+TEST(ObbIntersects, AxisAlignedCases) {
+  Obb obb;
+  obb.center = {5.0f, 5.0f};
+  obb.axis1 = {1.0f, 0.0f};
+  obb.axis2 = {0.0f, 1.0f};
+  obb.half1 = 2.0f;
+  obb.half2 = 1.0f;
+  EXPECT_TRUE(obb_intersects(obb, Rect{0, 0, 10, 10}));   // contained
+  EXPECT_TRUE(obb_intersects(obb, Rect{6.5f, 0, 8, 10})); // overlaps in x
+  EXPECT_FALSE(obb_intersects(obb, Rect{7.5f, 0, 9, 10}));
+  EXPECT_FALSE(obb_intersects(obb, Rect{0, 6.5f, 10, 8}));
+  EXPECT_TRUE(obb_intersects(obb, Rect{0, 5.9f, 10, 8}));
+}
+
+TEST(ObbIntersects, RotatedCornerCase) {
+  // 45-degree OBB: reaches (h1+h2)/sqrt(2) along x from its center.
+  Obb obb;
+  obb.center = {0.0f, 0.0f};
+  const float inv_sqrt2 = 1.0f / std::sqrt(2.0f);
+  obb.axis1 = {inv_sqrt2, inv_sqrt2};
+  obb.axis2 = {-inv_sqrt2, inv_sqrt2};
+  obb.half1 = 4.0f;
+  obb.half2 = 1.0f;
+  // Reach along the diagonal axis: tip at ~ (2.83, 2.83).
+  EXPECT_TRUE(obb_intersects(obb, Rect{2.5f, 2.5f, 3.0f, 3.0f}));
+  // A rect near the perpendicular diagonal, outside the thin extent.
+  EXPECT_FALSE(obb_intersects(obb, Rect{-3.0f, 2.5f, -2.5f, 3.0f}));
+}
+
+TEST(EllipseIntersects, TouchingBoundary) {
+  // Circle radius 3 (cov = I, rho = 9) at origin.
+  const Ellipse e = Ellipse::from_cov({0, 0}, Sym2{1.0f, 0.0f, 1.0f});
+  EXPECT_TRUE(ellipse_intersects(e, Rect{2.9f, -1, 5, 1}));
+  EXPECT_FALSE(ellipse_intersects(e, Rect{3.1f, -1, 5, 1}));
+  // Corner just inside/outside the circle.
+  const float c_in = 3.0f / std::sqrt(2.0f) - 0.05f;
+  const float c_out = 3.0f / std::sqrt(2.0f) + 0.05f;
+  EXPECT_TRUE(ellipse_intersects(e, Rect{c_in, c_in, 10, 10}));
+  EXPECT_FALSE(ellipse_intersects(e, Rect{c_out, c_out, 10, 10}));
+}
+
+class BoundaryChainTest : public ::testing::TestWithParam<int> {};
+
+/// The refinement chain the paper's Fig. 2 illustrates: every tile hit by
+/// the ellipse is hit by the OBB, and (within the AABB candidate range,
+/// which is how binning enumerates) every OBB hit is an AABB hit.
+TEST_P(BoundaryChainTest, EllipseSubsetOfObbSubsetOfAabb) {
+  std::mt19937 gen(static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<float> pos(0.0f, 64.0f);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Sym2 cov = random_spd(gen, 4.0f);
+    const Ellipse e = Ellipse::from_cov({pos(gen), pos(gen)}, cov);
+    const Obb obb = Obb::from_ellipse(e);
+    const Rect box = e.aabb();
+    // Scan a tile grid over the candidate AABB range.
+    const int t0x = static_cast<int>(std::floor(box.x0 / 8.0f));
+    const int t0y = static_cast<int>(std::floor(box.y0 / 8.0f));
+    const int t1x = static_cast<int>(std::floor(box.x1 / 8.0f)) + 1;
+    const int t1y = static_cast<int>(std::floor(box.y1 / 8.0f)) + 1;
+    for (int ty = t0y; ty < t1y; ++ty) {
+      for (int tx = t0x; tx < t1x; ++tx) {
+        const Rect rect{static_cast<float>(tx) * 8, static_cast<float>(ty) * 8,
+                        static_cast<float>(tx + 1) * 8, static_cast<float>(ty + 1) * 8};
+        const bool hit_aabb = aabb_intersects(e, rect);
+        const bool hit_obb = obb_intersects(obb, rect);
+        const bool hit_ell = ellipse_intersects(e, rect);
+        if (hit_ell) {
+          EXPECT_TRUE(hit_obb) << "ellipse hit without obb hit";
+          EXPECT_TRUE(hit_aabb) << "ellipse hit without aabb hit";
+        }
+        // All candidate tiles are inside the AABB range by construction.
+        EXPECT_TRUE(hit_aabb);
+        (void)hit_obb;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundaryChainTest, ::testing::Values(7, 8, 9));
+
+TEST(FootprintIntersects, DispatchMatchesDirectCalls) {
+  const Ellipse e = Ellipse::from_cov({4.0f, 4.0f}, Sym2{2.0f, 0.5f, 1.0f});
+  const Rect r{0, 0, 8, 8};
+  EXPECT_EQ(footprint_intersects(Boundary::kAabb, e, r), aabb_intersects(e, r));
+  EXPECT_EQ(footprint_intersects(Boundary::kObb, e, r), obb_intersects(Obb::from_ellipse(e), r));
+  EXPECT_EQ(footprint_intersects(Boundary::kEllipse, e, r), ellipse_intersects(e, r));
+}
+
+TEST(BoundaryNames, ToString) {
+  EXPECT_STREQ(to_string(Boundary::kAabb), "AABB");
+  EXPECT_STREQ(to_string(Boundary::kObb), "OBB");
+  EXPECT_STREQ(to_string(Boundary::kEllipse), "Ellipse");
+}
+
+}  // namespace
+}  // namespace gstg

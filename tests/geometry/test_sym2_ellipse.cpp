@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "geometry/ellipse.h"
+#include "geometry/sym2.h"
+
+namespace gstg {
+namespace {
+
+Sym2 random_spd(std::mt19937& gen, float scale = 10.0f) {
+  // A A^T + eps I is SPD.
+  std::uniform_real_distribution<float> dist(-scale, scale);
+  const float a = dist(gen), b = dist(gen), c = dist(gen), d = dist(gen);
+  return Sym2{a * a + b * b + 0.1f, a * c + b * d, c * c + d * d + 0.1f};
+}
+
+TEST(Sym2, QuadraticForm) {
+  const Sym2 m{2.0f, 0.5f, 3.0f};
+  EXPECT_FLOAT_EQ(m.quad({1.0f, 0.0f}), 2.0f);
+  EXPECT_FLOAT_EQ(m.quad({0.0f, 1.0f}), 3.0f);
+  EXPECT_FLOAT_EQ(m.quad({1.0f, 1.0f}), 2.0f + 2.0f * 0.5f + 3.0f);
+}
+
+TEST(Sym2, EigenDiagonal) {
+  const Eigen2 e = eigen_decompose(Sym2{4.0f, 0.0f, 1.0f});
+  EXPECT_FLOAT_EQ(e.lambda1, 4.0f);
+  EXPECT_FLOAT_EQ(e.lambda2, 1.0f);
+  EXPECT_NEAR(std::fabs(e.axis1.x), 1.0f, 1e-6f);
+  EXPECT_NEAR(e.axis1.y, 0.0f, 1e-6f);
+}
+
+TEST(Sym2, EigenIsotropicPicksCoordinateAxes) {
+  const Eigen2 e = eigen_decompose(Sym2{2.0f, 0.0f, 2.0f});
+  EXPECT_FLOAT_EQ(e.lambda1, 2.0f);
+  EXPECT_FLOAT_EQ(e.lambda2, 2.0f);
+  EXPECT_NEAR(length(e.axis1), 1.0f, 1e-6f);
+  EXPECT_NEAR(dot(e.axis1, e.axis2), 0.0f, 1e-6f);
+}
+
+class Sym2PropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Sym2PropertyTest, EigenReconstructsMatrix) {
+  std::mt19937 gen(static_cast<unsigned>(GetParam()));
+  for (int trial = 0; trial < 100; ++trial) {
+    const Sym2 m = random_spd(gen);
+    const Eigen2 e = eigen_decompose(m);
+    EXPECT_GE(e.lambda1, e.lambda2);
+    EXPECT_GT(e.lambda2, 0.0f);
+    EXPECT_NEAR(dot(e.axis1, e.axis2), 0.0f, 1e-4f);
+    // Reconstruct: lambda1 a1 a1^T + lambda2 a2 a2^T.
+    const float rel = std::max(1.0f, m.trace());
+    const float xx = e.lambda1 * e.axis1.x * e.axis1.x + e.lambda2 * e.axis2.x * e.axis2.x;
+    const float xy = e.lambda1 * e.axis1.x * e.axis1.y + e.lambda2 * e.axis2.x * e.axis2.y;
+    const float yy = e.lambda1 * e.axis1.y * e.axis1.y + e.lambda2 * e.axis2.y * e.axis2.y;
+    EXPECT_NEAR(xx, m.xx, 1e-3f * rel);
+    EXPECT_NEAR(xy, m.xy, 1e-3f * rel);
+    EXPECT_NEAR(yy, m.yy, 1e-3f * rel);
+  }
+}
+
+TEST_P(Sym2PropertyTest, InverseIsExact) {
+  std::mt19937 gen(static_cast<unsigned>(GetParam()) + 100);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Sym2 m = random_spd(gen);
+    const Sym2 inv = inverse(m);
+    // m * inv = I (checking the symmetric product elementwise).
+    EXPECT_NEAR(m.xx * inv.xx + m.xy * inv.xy, 1.0f, 1e-3f);
+    EXPECT_NEAR(m.xy * inv.xx + m.yy * inv.xy, 0.0f, 1e-3f);
+    EXPECT_NEAR(m.xx * inv.xy + m.xy * inv.yy, 0.0f, 1e-3f);
+    EXPECT_NEAR(m.xy * inv.xy + m.yy * inv.yy, 1.0f, 1e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Sym2PropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Sym2, InverseRejectsNonSpd) {
+  EXPECT_THROW(inverse(Sym2{1.0f, 2.0f, 1.0f}), std::domain_error);  // det < 0
+  EXPECT_THROW(inverse(Sym2{0.0f, 0.0f, 0.0f}), std::domain_error);
+}
+
+TEST(Ellipse, FromCovComputesConic) {
+  const Ellipse e = Ellipse::from_cov({10.0f, 20.0f}, Sym2{4.0f, 0.0f, 1.0f});
+  EXPECT_FLOAT_EQ(e.conic.xx, 0.25f);
+  EXPECT_FLOAT_EQ(e.conic.yy, 1.0f);
+  EXPECT_EQ(e.rho, kThreeSigmaRho);
+}
+
+TEST(Ellipse, ContainsCenterAndBoundary) {
+  const Ellipse e = Ellipse::from_cov({0.0f, 0.0f}, Sym2{4.0f, 0.0f, 1.0f});
+  EXPECT_TRUE(e.contains({0.0f, 0.0f}));
+  // 3-sigma point along x: 3 * sqrt(4) = 6.
+  EXPECT_TRUE(e.contains({5.99f, 0.0f}));
+  EXPECT_FALSE(e.contains({6.01f, 0.0f}));
+}
+
+TEST(Ellipse, AabbIsTight) {
+  std::mt19937 gen(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Sym2 cov = random_spd(gen, 4.0f);
+    const Ellipse e = Ellipse::from_cov({1.0f, -2.0f}, cov);
+    const Rect box = e.aabb();
+    // Sample the boundary: all boundary points inside the box, and the box
+    // half-extents are attained (within sampling error).
+    const Eigen2 eig = eigen_decompose(cov);
+    float max_x = 0.0f, max_y = 0.0f;
+    for (int k = 0; k < 720; ++k) {
+      const float t = static_cast<float>(k) * 3.14159265f / 360.0f;
+      const float c = std::cos(t), s = std::sin(t);
+      // Boundary point: center + sqrt(rho) * (sqrt(l1) c a1 + sqrt(l2) s a2).
+      const Vec2 d = eig.axis1 * (std::sqrt(eig.lambda1) * c) +
+                     eig.axis2 * (std::sqrt(eig.lambda2) * s);
+      const Vec2 p = e.center + d * std::sqrt(e.rho);
+      EXPECT_GE(p.x, box.x0 - 1e-3f);
+      EXPECT_LE(p.x, box.x1 + 1e-3f);
+      EXPECT_GE(p.y, box.y0 - 1e-3f);
+      EXPECT_LE(p.y, box.y1 + 1e-3f);
+      max_x = std::max(max_x, std::fabs(p.x - e.center.x));
+      max_y = std::max(max_y, std::fabs(p.y - e.center.y));
+    }
+    EXPECT_NEAR(max_x, 0.5f * box.width(), 0.02f * (0.5f * box.width()));
+    EXPECT_NEAR(max_y, 0.5f * box.height(), 0.02f * (0.5f * box.height()));
+  }
+}
+
+TEST(Ellipse, SemiAxesOrdered) {
+  const Ellipse e = Ellipse::from_cov({0, 0}, Sym2{9.0f, 0.0f, 1.0f});
+  const Vec2 axes = e.semi_axes();
+  EXPECT_FLOAT_EQ(axes.x, 9.0f);  // sqrt(9 * 9)
+  EXPECT_FLOAT_EQ(axes.y, 3.0f);  // sqrt(9 * 1)
+  EXPECT_GE(axes.x, axes.y);
+}
+
+TEST(Obb, AxesAlignWithEigenvectors) {
+  const Ellipse e = Ellipse::from_cov({0, 0}, Sym2{4.0f, 0.0f, 1.0f});
+  const Obb o = Obb::from_ellipse(e);
+  EXPECT_NEAR(std::fabs(o.axis1.x), 1.0f, 1e-5f);
+  EXPECT_FLOAT_EQ(o.half1, 6.0f);  // sqrt(9*4)
+  EXPECT_FLOAT_EQ(o.half2, 3.0f);  // sqrt(9*1)
+}
+
+TEST(OpacityAwareRho, MatchesClosedForm) {
+  EXPECT_EQ(opacity_aware_rho(1.0f / 255.0f), 0.0f);
+  EXPECT_EQ(opacity_aware_rho(0.001f), 0.0f);
+  const float rho = opacity_aware_rho(0.5f);
+  EXPECT_NEAR(rho, 2.0f * std::log(127.5f), 1e-5f);
+  // Higher opacity -> larger footprint.
+  EXPECT_GT(opacity_aware_rho(0.9f), opacity_aware_rho(0.2f));
+  // 3-sigma is more conservative than the opacity bound for opacity < ~0.35.
+  EXPECT_LT(opacity_aware_rho(0.3f), kThreeSigmaRho);
+}
+
+}  // namespace
+}  // namespace gstg

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "geometry/mat.h"
+#include "geometry/quaternion.h"
+#include "geometry/vec.h"
+
+namespace gstg {
+namespace {
+
+constexpr float kEps = 1e-5f;
+
+TEST(Vec, BasicAlgebra) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0f, (Vec3{2, 4, 6}));
+  EXPECT_FLOAT_EQ(dot(a, b), 32.0f);
+  EXPECT_EQ(cross(Vec3{1, 0, 0}, Vec3{0, 1, 0}), (Vec3{0, 0, 1}));
+  EXPECT_FLOAT_EQ(length(Vec3{3, 4, 0}), 5.0f);
+}
+
+TEST(Vec, NormalizedHandlesZero) {
+  EXPECT_EQ(normalized(Vec3{0, 0, 0}), (Vec3{0, 0, 0}));
+  const Vec3 n = normalized(Vec3{0, 0, 5});
+  EXPECT_NEAR(length(n), 1.0f, kEps);
+}
+
+TEST(Vec, PerpIsOrthogonal) {
+  const Vec2 v{3.0f, -2.0f};
+  EXPECT_FLOAT_EQ(dot(v, perp(v)), 0.0f);
+  EXPECT_FLOAT_EQ(length(perp(v)), length(v));
+}
+
+TEST(Vec, Homogeneous) {
+  const Vec4 h = to_homogeneous({1, 2, 3});
+  EXPECT_EQ(h.w, 1.0f);
+  const Vec3 back = from_homogeneous({2, 4, 6, 2});
+  EXPECT_EQ(back, (Vec3{1, 2, 3}));
+}
+
+TEST(Mat3, IdentityAndMultiply) {
+  const Mat3 id = Mat3::identity();
+  const Vec3 v{1, -2, 3};
+  EXPECT_EQ(id * v, v);
+  Mat3 a = Mat3::identity();
+  a(0, 1) = 2.0f;
+  a(2, 0) = -1.0f;
+  const Mat3 prod = a * id;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(prod(i, j), a(i, j));
+  }
+}
+
+TEST(Mat3, InverseRecoversIdentity) {
+  std::mt19937 gen(11);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  for (int trial = 0; trial < 100; ++trial) {
+    Mat3 a;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) a(i, j) = dist(gen);
+    }
+    if (std::fabs(a.determinant()) < 0.05f) continue;  // skip near-singular draws
+    const Mat3 prod = a * inverse(a);
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        EXPECT_NEAR(prod(i, j), i == j ? 1.0f : 0.0f, 1e-3f);
+      }
+    }
+  }
+}
+
+TEST(Mat3, InverseThrowsOnSingular) {
+  Mat3 a{};  // all zeros
+  EXPECT_THROW(inverse(a), std::domain_error);
+}
+
+TEST(Mat4, RigidInverse) {
+  const Mat4 m = [] {
+    Mat4 r = Mat4::identity();
+    // Rotation about z by 30 degrees plus translation.
+    const float c = std::cos(0.5236f), s = std::sin(0.5236f);
+    r.m[0] = {c, -s, 0, 1.5f};
+    r.m[1] = {s, c, 0, -2.0f};
+    r.m[2] = {0, 0, 1, 3.0f};
+    return r;
+  }();
+  const Mat4 inv = rigid_inverse(m);
+  const Mat4 prod = m * inv;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0f : 0.0f, kEps);
+    }
+  }
+}
+
+TEST(Mat4, TransformPointMatchesHomogeneous) {
+  Mat4 m = Mat4::identity();
+  m(0, 3) = 5.0f;
+  m(1, 1) = 2.0f;
+  const Vec3 p{1, 1, 1};
+  const Vec3 via_h = from_homogeneous(m * to_homogeneous(p));
+  const Vec3 direct = m.transform_point(p);
+  EXPECT_NEAR(via_h.x, direct.x, kEps);
+  EXPECT_NEAR(via_h.y, direct.y, kEps);
+  EXPECT_NEAR(via_h.z, direct.z, kEps);
+}
+
+TEST(Quat, IdentityRotation) {
+  const Mat3 r = rotation_matrix(Quat{});
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_NEAR(r(i, j), i == j ? 1.0f : 0.0f, kEps);
+  }
+}
+
+TEST(Quat, AxisAngleMatchesKnownRotation) {
+  // 90 degrees about z maps x->y.
+  const Mat3 r = rotation_matrix(from_axis_angle({0, 0, 1}, 3.14159265f / 2.0f));
+  const Vec3 y = r * Vec3{1, 0, 0};
+  EXPECT_NEAR(y.x, 0.0f, kEps);
+  EXPECT_NEAR(y.y, 1.0f, kEps);
+  EXPECT_NEAR(y.z, 0.0f, kEps);
+}
+
+TEST(Quat, RotationMatrixIsOrthonormal) {
+  std::mt19937 gen(5);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Quat q{dist(gen), dist(gen), dist(gen), dist(gen)};
+    if (length(q) < 1e-3f) continue;
+    const Mat3 r = rotation_matrix(q);
+    const Mat3 rrt = r * r.transposed();
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        EXPECT_NEAR(rrt(i, j), i == j ? 1.0f : 0.0f, 1e-4f);
+      }
+    }
+    EXPECT_NEAR(r.determinant(), 1.0f, 1e-4f);
+  }
+}
+
+TEST(Quat, FromBasisRoundTrips) {
+  std::mt19937 gen(17);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Quat q = normalized(Quat{dist(gen), dist(gen), dist(gen), dist(gen)});
+    if (length(q) < 1e-3f) continue;
+    const Mat3 r = rotation_matrix(q);
+    // Columns of r are the rotated basis vectors.
+    const Vec3 cx{r(0, 0), r(1, 0), r(2, 0)};
+    const Vec3 cy{r(0, 1), r(1, 1), r(2, 1)};
+    const Vec3 cz{r(0, 2), r(1, 2), r(2, 2)};
+    const Mat3 r2 = rotation_matrix(from_basis(cx, cy, cz));
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) EXPECT_NEAR(r2(i, j), r(i, j), 1e-4f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gstg

@@ -1,0 +1,122 @@
+#include "render/global_sort.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+#include "render/preprocess.h"
+#include "render/sort.h"
+
+namespace gstg {
+namespace {
+
+using testutil::make_camera;
+
+TEST(DepthKey, OrdersByCellThenDepth) {
+  EXPECT_LT(make_depth_key(0, 5.0f), make_depth_key(1, 0.1f));
+  EXPECT_LT(make_depth_key(3, 1.0f), make_depth_key(3, 2.0f));
+  EXPECT_LT(make_depth_key(3, 0.25f), make_depth_key(3, 0.26f));
+  EXPECT_EQ(make_depth_key(7, 4.5f), make_depth_key(7, 4.5f));
+  // Cell lives in the high 32 bits.
+  EXPECT_EQ(make_depth_key(7, 4.5f) >> 32, 7u);
+}
+
+class GlobalSortEquivalenceTest : public ::testing::TestWithParam<Boundary> {};
+
+TEST_P(GlobalSortEquivalenceTest, MatchesPerTileSortExactly) {
+  const Camera cam = make_camera(256, 192);
+  const GaussianCloud cloud = testutil::make_random_cloud(1500, 201);
+  RenderCounters pc;
+  const auto splats = preprocess(cloud, cam, RenderConfig{}, pc);
+  const CellGrid grid = CellGrid::over_image(cam.width(), cam.height(), 16);
+
+  RenderCounters c_two_step;
+  BinnedSplats two_step = bin_splats(splats, grid, GetParam(), 0, c_two_step);
+  sort_cell_lists(two_step, splats, 0, c_two_step);
+
+  RenderCounters c_global;
+  const BinnedSplats global = global_sorted_binning(splats, grid, GetParam(), 0, c_global);
+
+  // Identical CSR structure AND identical within-cell order: the stable
+  // radix sort reproduces the (depth, index) comparator exactly.
+  ASSERT_EQ(global.offsets, two_step.offsets);
+  ASSERT_EQ(global.splat_ids.size(), two_step.splat_ids.size());
+  for (std::size_t k = 0; k < global.splat_ids.size(); ++k) {
+    EXPECT_EQ(global.splat_ids[k], two_step.splat_ids[k]) << "pair " << k;
+    if (global.splat_ids[k] != two_step.splat_ids[k]) break;
+  }
+
+  // Counter equivalence for the shared semantics.
+  EXPECT_EQ(c_global.boundary_tests, c_two_step.boundary_tests);
+  EXPECT_EQ(c_global.tile_pairs, c_two_step.tile_pairs);
+  EXPECT_EQ(c_global.splats_multi_tile, c_two_step.splats_multi_tile);
+  EXPECT_EQ(c_global.sort_pairs, c_two_step.sort_pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, GlobalSortEquivalenceTest,
+                         ::testing::Values(Boundary::kAabb, Boundary::kObb, Boundary::kEllipse),
+                         [](const ::testing::TestParamInfo<Boundary>& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(GlobalSort, DeterministicAcrossThreadCounts) {
+  const Camera cam = make_camera();
+  const GaussianCloud cloud = testutil::make_random_cloud(900, 203);
+  RenderCounters pc;
+  const auto splats = preprocess(cloud, cam, RenderConfig{}, pc);
+  const CellGrid grid = CellGrid::over_image(cam.width(), cam.height(), 16);
+  RenderCounters c1, c4;
+  const BinnedSplats a = global_sorted_binning(splats, grid, Boundary::kEllipse, 1, c1);
+  const BinnedSplats b = global_sorted_binning(splats, grid, Boundary::kEllipse, 4, c4);
+  EXPECT_EQ(a.offsets, b.offsets);
+  EXPECT_EQ(a.splat_ids, b.splat_ids);
+}
+
+TEST(GlobalSort, EqualDepthsKeepIndexOrder) {
+  // Two splats at identical depth in the same tile: stable radix keeps the
+  // emission (index) order, matching the comparator's tiebreak.
+  std::vector<ProjectedSplat> splats(3);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    splats[i].center = {8.0f, 8.0f};
+    splats[i].cov = Sym2{4.0f, 0.0f, 4.0f};
+    splats[i].conic = inverse(splats[i].cov);
+    splats[i].depth = 2.0f;
+    splats[i].opacity = 0.5f;
+    splats[i].rho = kThreeSigmaRho;
+    splats[i].index = i;
+  }
+  const CellGrid grid = CellGrid::over_image(16, 16, 16);
+  RenderCounters counters;
+  const BinnedSplats bins = global_sorted_binning(splats, grid, Boundary::kAabb, 1, counters);
+  const auto list = bins.cell_list(0);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], 0u);
+  EXPECT_EQ(list[1], 1u);
+  EXPECT_EQ(list[2], 2u);
+}
+
+TEST(GlobalSort, EmptyInput) {
+  const CellGrid grid = CellGrid::over_image(64, 64, 16);
+  RenderCounters counters;
+  const BinnedSplats bins =
+      global_sorted_binning(std::span<const ProjectedSplat>{}, grid, Boundary::kEllipse, 1,
+                            counters);
+  EXPECT_EQ(bins.splat_ids.size(), 0u);
+  EXPECT_EQ(bins.offsets.back(), 0u);
+  EXPECT_EQ(counters.sort_pairs, 0u);
+}
+
+TEST(GlobalSort, RadixVolumeAccounted) {
+  const Camera cam = make_camera(128, 96);
+  const GaussianCloud cloud = testutil::make_random_cloud(300, 207);
+  RenderCounters pc;
+  const auto splats = preprocess(cloud, cam, RenderConfig{}, pc);
+  const CellGrid grid = CellGrid::over_image(cam.width(), cam.height(), 16);
+  RenderCounters counters;
+  global_sorted_binning(splats, grid, Boundary::kEllipse, 0, counters);
+  // Volume = pairs * passes; passes between 5 (32+8 bits) and 8.
+  EXPECT_GE(counters.sort_comparison_volume, 5.0 * static_cast<double>(counters.sort_pairs));
+  EXPECT_LE(counters.sort_comparison_volume, 8.0 * static_cast<double>(counters.sort_pairs));
+}
+
+}  // namespace
+}  // namespace gstg

@@ -1,0 +1,109 @@
+#include "render/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_helpers.h"
+
+namespace gstg {
+namespace {
+
+using testutil::make_camera;
+using testutil::single_splat;
+
+TEST(Preprocess, ProjectsCenteredSplat) {
+  const Camera cam = make_camera();
+  const GaussianCloud cloud = single_splat({0, 0, 0}, {0.2f, 0.2f, 0.2f}, 0.8f, {1, 0, 0});
+  RenderCounters counters;
+  const auto splats = preprocess(cloud, cam, RenderConfig{}, counters);
+  ASSERT_EQ(splats.size(), 1u);
+  EXPECT_EQ(counters.input_gaussians, 1u);
+  EXPECT_EQ(counters.visible_gaussians, 1u);
+  EXPECT_NEAR(splats[0].center.x, cam.cx(), 0.1f);
+  EXPECT_NEAR(splats[0].center.y, cam.cy(), 0.1f);
+  EXPECT_NEAR(splats[0].depth, 5.0f, 1e-3f);
+  EXPECT_FLOAT_EQ(splats[0].opacity, 0.8f);
+  EXPECT_EQ(splats[0].rho, kThreeSigmaRho);
+  EXPECT_NEAR(splats[0].rgb.x, 1.0f, 1e-4f);
+  EXPECT_NEAR(splats[0].rgb.y, 0.0f, 1e-4f);
+  EXPECT_EQ(splats[0].index, 0u);
+  // conic = cov^-1.
+  EXPECT_NEAR(splats[0].cov.xx * splats[0].conic.xx + splats[0].cov.xy * splats[0].conic.xy,
+              1.0f, 1e-3f);
+}
+
+TEST(Preprocess, CullsBehindCamera) {
+  const Camera cam = make_camera();
+  const GaussianCloud cloud = single_splat({0, 0, -10.0f}, {0.2f, 0.2f, 0.2f}, 0.8f, {1, 1, 1});
+  RenderCounters counters;
+  const auto splats = preprocess(cloud, cam, RenderConfig{}, counters);
+  EXPECT_TRUE(splats.empty());
+  EXPECT_EQ(counters.input_gaussians, 1u);
+  EXPECT_EQ(counters.visible_gaussians, 0u);
+}
+
+TEST(Preprocess, CullsOutsideGuardBand) {
+  const Camera cam = make_camera();
+  // Far outside the 1.3x field of view at depth 5.
+  const float x = cam.tan_half_fov_x() * 5.0f * 2.0f;
+  const GaussianCloud cloud = single_splat({x, 0, 0}, {0.2f, 0.2f, 0.2f}, 0.8f, {1, 1, 1});
+  RenderCounters counters;
+  EXPECT_TRUE(preprocess(cloud, cam, RenderConfig{}, counters).empty());
+}
+
+TEST(Preprocess, CullsTransparentSplats) {
+  const Camera cam = make_camera();
+  GaussianCloud cloud(0);
+  cloud.add_solid({0, 0, 0}, {0.2f, 0.2f, 0.2f}, Quat{}, 0.5f / 255.0f, {1, 1, 1});
+  RenderCounters counters;
+  EXPECT_TRUE(preprocess(cloud, cam, RenderConfig{}, counters).empty());
+}
+
+TEST(Preprocess, OpacityAwareRhoShrinksFootprint) {
+  const Camera cam = make_camera();
+  const GaussianCloud cloud = single_splat({0, 0, 0}, {0.2f, 0.2f, 0.2f}, 0.3f, {1, 1, 1});
+  RenderCounters c1, c2;
+  RenderConfig three_sigma;
+  RenderConfig opacity_aware;
+  opacity_aware.opacity_aware_rho = true;
+  const auto a = preprocess(cloud, cam, three_sigma, c1);
+  const auto b = preprocess(cloud, cam, opacity_aware, c2);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].rho, kThreeSigmaRho);
+  EXPECT_LT(b[0].rho, kThreeSigmaRho);  // opacity 0.3 -> 2 ln(76.5) < 9
+  EXPECT_GT(b[0].rho, 0.0f);
+}
+
+TEST(Preprocess, OutputOrderFollowsCloudOrder) {
+  const Camera cam = make_camera();
+  const GaussianCloud cloud = testutil::make_random_cloud(500, 42);
+  RenderCounters counters;
+  const auto splats = preprocess(cloud, cam, RenderConfig{}, counters);
+  ASSERT_GT(splats.size(), 100u);
+  for (std::size_t i = 1; i < splats.size(); ++i) {
+    EXPECT_LT(splats[i - 1].index, splats[i].index);
+  }
+}
+
+TEST(Preprocess, DeterministicAcrossThreadCounts) {
+  const Camera cam = make_camera();
+  const GaussianCloud cloud = testutil::make_random_cloud(2000, 7);
+  RenderCounters c1, c2;
+  RenderConfig one_thread;
+  one_thread.threads = 1;
+  RenderConfig many_threads;
+  many_threads.threads = 4;
+  const auto a = preprocess(cloud, cam, one_thread, c1);
+  const auto b = preprocess(cloud, cam, many_threads, c2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index);
+    EXPECT_EQ(a[i].center, b[i].center);
+    EXPECT_EQ(a[i].depth, b[i].depth);
+  }
+}
+
+}  // namespace
+}  // namespace gstg

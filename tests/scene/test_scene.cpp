@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "scene/scene.h"
+
+namespace gstg {
+namespace {
+
+// Tiny scale so scene generation stays fast in unit tests.
+RunScale tiny_scale() { return RunScale{.resolution_divisor = 8, .gaussian_divisor = 256}; }
+
+TEST(SceneRegistry, TableMatchesPaperTableII) {
+  const auto& scenes = all_scenes();
+  ASSERT_EQ(scenes.size(), 6u);
+  EXPECT_EQ(scene_info("train").paper_width, 1959);
+  EXPECT_EQ(scene_info("train").paper_height, 1090);
+  EXPECT_EQ(scene_info("truck").paper_width, 1957);
+  EXPECT_EQ(scene_info("drjohnson").dataset, "Deep Blending");
+  EXPECT_EQ(scene_info("playroom").paper_height, 832);
+  EXPECT_EQ(scene_info("rubble").paper_width, 4608);
+  EXPECT_EQ(scene_info("residence").paper_width, 5472);
+  EXPECT_EQ(scene_info("residence").paper_height, 3648);
+  EXPECT_EQ(scene_info("drjohnson").kind, SceneKind::kIndoorRoom);
+  EXPECT_EQ(scene_info("rubble").kind, SceneKind::kAerial);
+  EXPECT_EQ(scene_info("train").kind, SceneKind::kOutdoorStreet);
+}
+
+TEST(SceneRegistry, AlgorithmScenesAreFirstFour) {
+  const auto& four = algorithm_scenes();
+  ASSERT_EQ(four.size(), 4u);
+  EXPECT_EQ(four[0].name, "train");
+  EXPECT_EQ(four[3].name, "playroom");
+}
+
+TEST(SceneRegistry, UnknownNameThrows) {
+  EXPECT_THROW(scene_info("atlantis"), std::invalid_argument);
+}
+
+TEST(SceneGen, DeterministicAcrossCalls) {
+  const Scene a = generate_scene("train", tiny_scale());
+  const Scene b = generate_scene("train", tiny_scale());
+  ASSERT_EQ(a.cloud.size(), b.cloud.size());
+  for (std::size_t i = 0; i < a.cloud.size(); i += 97) {
+    EXPECT_EQ(a.cloud.position(i), b.cloud.position(i));
+    EXPECT_EQ(a.cloud.scale(i), b.cloud.scale(i));
+    EXPECT_EQ(a.cloud.opacity(i), b.cloud.opacity(i));
+  }
+}
+
+TEST(SceneGen, DifferentScenesDiffer) {
+  const Scene a = generate_scene("train", tiny_scale());
+  const Scene b = generate_scene("truck", tiny_scale());
+  // Same archetype, different seeds and counts.
+  EXPECT_NE(a.cloud.size(), b.cloud.size());
+}
+
+TEST(SceneGen, RespectsScaleDivisors) {
+  const Scene small = generate_scene("train", RunScale{8, 256});
+  const Scene larger = generate_scene("train", RunScale{4, 64});
+  EXPECT_LT(small.cloud.size(), larger.cloud.size());
+  EXPECT_EQ(small.render_width, 1959 / 8);
+  EXPECT_EQ(larger.render_width, 1959 / 4);
+  // Count tracks paper_gaussians / divisor within recipe rounding.
+  const double expected = 1'030'000.0 / 256.0;
+  EXPECT_NEAR(static_cast<double>(small.cloud.size()), expected, 0.15 * expected);
+}
+
+TEST(SceneGen, RejectsBadScale) {
+  EXPECT_THROW(generate_scene("train", RunScale{0, 16}), std::invalid_argument);
+  EXPECT_THROW(generate_scene("train", RunScale{4, 0}), std::invalid_argument);
+}
+
+class AllScenesTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllScenesTest, GeneratesValidCloudAndCamera) {
+  const Scene scene = generate_scene(GetParam(), tiny_scale());
+  EXPECT_GT(scene.cloud.size(), 1000u);
+  EXPECT_EQ(scene.camera.width(), scene.render_width);
+  EXPECT_EQ(scene.camera.height(), scene.render_height);
+
+  // All parameters within valid domains.
+  std::size_t in_front = 0;
+  for (std::size_t i = 0; i < scene.cloud.size(); ++i) {
+    const Vec3 s = scene.cloud.scale(i);
+    ASSERT_GT(s.x, 0.0f);
+    ASSERT_GT(s.y, 0.0f);
+    ASSERT_GT(s.z, 0.0f);
+    const float o = scene.cloud.opacity(i);
+    ASSERT_GE(o, 0.0f);
+    ASSERT_LE(o, 1.0f);
+    if (scene.camera.to_view(scene.cloud.position(i)).z > 0.2f) ++in_front;
+  }
+  // The evaluation camera actually sees a large share of the scene.
+  EXPECT_GT(in_front, scene.cloud.size() / 4);
+}
+
+TEST_P(AllScenesTest, SplatsAreAnisotropic) {
+  const Scene scene = generate_scene(GetParam(), tiny_scale());
+  std::size_t anisotropic = 0;
+  for (std::size_t i = 0; i < scene.cloud.size(); ++i) {
+    const Vec3 s = scene.cloud.scale(i);
+    const float mx = std::max({s.x, s.y, s.z});
+    const float mn = std::min({s.x, s.y, s.z});
+    if (mx > 2.0f * mn) ++anisotropic;
+  }
+  // Surface-aligned splats dominate: most have a thin normal direction.
+  EXPECT_GT(anisotropic, scene.cloud.size() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenes, AllScenesTest,
+                         ::testing::Values("train", "truck", "drjohnson", "playroom", "rubble",
+                                           "residence"));
+
+TEST(OrbitCameras, CountAndDistinctPoses) {
+  const Scene scene = generate_scene("playroom", tiny_scale());
+  const auto cams = orbit_cameras(scene, 8);
+  ASSERT_EQ(cams.size(), 8u);
+  std::set<float> xs;
+  for (const Camera& c : cams) xs.insert(c.position().x);
+  EXPECT_GT(xs.size(), 6u);  // distinct eye positions
+  EXPECT_THROW(orbit_cameras(scene, 0), std::invalid_argument);
+}
+
+TEST(OrbitCameras, FirstFrameNearEvaluationCamera) {
+  const Scene scene = generate_scene("train", tiny_scale());
+  const auto cams = orbit_cameras(scene, 4);
+  const Vec3 a = cams[0].position();
+  const Vec3 b = scene.camera.position();
+  EXPECT_NEAR(a.x, b.x, 1e-3f);
+  EXPECT_NEAR(a.z, b.z, 1e-3f);
+}
+
+}  // namespace
+}  // namespace gstg

@@ -1,0 +1,149 @@
+#include "sim/accel.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+#include "scene/scene.h"
+#include "sim/energy.h"
+
+namespace gstg {
+namespace {
+
+using testutil::make_camera;
+
+FrameWorkload tiny_synthetic_workload() {
+  FrameWorkload w;
+  w.scene = "unit";
+  w.design = "Baseline";
+  w.input_gaussians = 1000;
+  w.visible_gaussians = 800;
+  w.ident_tests = 5000;
+  w.sorts.resize(8);
+  w.tiles.resize(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    w.sorts[i].n = 100;
+    w.tiles[i].raster_entries = 100;
+    w.tiles[i].alpha_evals = 10000;
+    w.tiles[i].pixels = 256;
+    w.tiles[i].sort_unit = static_cast<std::uint32_t>(i);
+  }
+  w.total_pixels = 8 * 256;
+  w.param_bytes = 100000;
+  w.feature_bytes = 20000;
+  w.list_bytes = 6400;
+  w.framebuffer_bytes = 6144;
+  return w;
+}
+
+TEST(Simulate, BasicInvariants) {
+  const HwConfig hw;
+  const SimReport r = simulate_frame(tiny_synthetic_workload(), baseline_pipeline_model(), hw);
+  EXPECT_GT(r.total_cycles, 0.0);
+  EXPECT_GT(r.fps, 0.0);
+  EXPECT_NEAR(r.fps, hw.frequency_hz / r.total_cycles, 1e-6);
+  EXPECT_GE(r.total_cycles, r.dram_cycles);
+  EXPECT_GE(r.total_cycles, r.pm_cycles);
+  EXPECT_GT(r.energy.total_j(), 0.0);
+  EXPECT_EQ(r.energy.bgm_j, 0.0);  // no BGM on the baseline
+  EXPECT_TRUE(r.bottleneck == "dram" || r.bottleneck == "preprocess" ||
+              r.bottleneck == "sort" || r.bottleneck == "raster");
+}
+
+TEST(Simulate, RejectsBgmWorkOnBaselineModel) {
+  FrameWorkload w = tiny_synthetic_workload();
+  w.bgm.resize(w.sorts.size());
+  const HwConfig hw;
+  EXPECT_THROW(simulate_frame(w, baseline_pipeline_model(), hw), std::invalid_argument);
+}
+
+TEST(Simulate, RejectsMismatchedBgmUnits) {
+  FrameWorkload w = tiny_synthetic_workload();
+  w.bgm.resize(3);  // != sorts.size()
+  const HwConfig hw;
+  EXPECT_THROW(simulate_frame(w, gstg_pipeline_model(), hw), std::invalid_argument);
+}
+
+TEST(Simulate, DramStarvationBecomesBottleneck) {
+  // Failure injection: throttle DRAM to a trickle; the run must become
+  // bandwidth-bound and slower.
+  FrameWorkload w = tiny_synthetic_workload();
+  const HwConfig normal;
+  HwConfig starved = normal;
+  starved.dram_bytes_per_second = 1.0e6;  // 1 MB/s
+  const SimReport fast = simulate_frame(w, baseline_pipeline_model(), normal);
+  const SimReport slow = simulate_frame(w, baseline_pipeline_model(), starved);
+  EXPECT_EQ(slow.bottleneck, "dram");
+  EXPECT_GT(slow.total_cycles, 10.0 * fast.total_cycles);
+  EXPECT_DOUBLE_EQ(slow.total_cycles, slow.dram_cycles);
+}
+
+TEST(Simulate, PreprocessBoundWhenIdentTestsDominate) {
+  FrameWorkload w = tiny_synthetic_workload();
+  w.ident_tests = 100'000'000;
+  const HwConfig hw;
+  const SimReport r = simulate_frame(w, baseline_pipeline_model(), hw);
+  EXPECT_EQ(r.bottleneck, "preprocess");
+}
+
+TEST(Simulate, SortBoundWhenListsHuge) {
+  FrameWorkload w = tiny_synthetic_workload();
+  for (auto& s : w.sorts) s.n = 2'000'000;
+  const HwConfig hw;
+  const SimReport r = simulate_frame(w, baseline_pipeline_model(), hw);
+  EXPECT_EQ(r.bottleneck, "sort");
+}
+
+TEST(Simulate, EnergyScalesWithDramTraffic) {
+  FrameWorkload w = tiny_synthetic_workload();
+  const HwConfig hw;
+  const SimReport a = simulate_frame(w, baseline_pipeline_model(), hw);
+  w.feature_bytes *= 100;
+  const SimReport b = simulate_frame(w, baseline_pipeline_model(), hw);
+  EXPECT_GT(b.energy.dram_j, a.energy.dram_j);
+  EXPECT_NEAR(b.energy.dram_j - a.energy.dram_j, 99.0 * 20000.0 * 20.0e-12, 1e-15);
+}
+
+TEST(Simulate, EndToEndGsTgBeatsBaselineOnScene) {
+  // The headline direction of Fig. 14 on a synthetic scene: fewer cycles
+  // and less energy for GS-TG at the same rendered output. Needs a scale
+  // with enough groups per core for the dispatcher to balance (the paper's
+  // full-resolution scenes have hundreds to thousands of groups).
+  const Scene scene = generate_scene("train", RunScale{4, 32});
+  GsTgConfig gc;
+  RenderConfig bc;
+  bc.tile_size = 16;
+  bc.boundary = Boundary::kEllipse;
+  FrameWorkload wg = build_gstg_workload(scene.cloud, scene.camera, gc);
+  FrameWorkload wb = build_tile_sorted_workload(scene.cloud, scene.camera, bc, "Baseline");
+  wg.scene = wb.scene = scene.info.name;
+
+  const HwConfig hw;
+  const SimReport rg = simulate_frame(wg, gstg_pipeline_model(), hw);
+  const SimReport rb = simulate_frame(wb, baseline_pipeline_model(), hw);
+
+  EXPECT_LT(rg.total_cycles, rb.total_cycles);
+  EXPECT_LT(rg.energy.total_j(), rb.energy.total_j());
+  // Sorting-stage time collapses under grouping.
+  EXPECT_LT(rg.gsm_cycles, rb.gsm_cycles);
+}
+
+TEST(Simulate, ReportToStringMentionsKeyFields) {
+  const HwConfig hw;
+  SimReport r = simulate_frame(tiny_synthetic_workload(), baseline_pipeline_model(), hw);
+  r.scene = "unit";
+  const std::string s = to_string(r);
+  EXPECT_NE(s.find("Baseline"), std::string::npos);
+  EXPECT_NE(s.find("unit"), std::string::npos);
+  EXPECT_NE(s.find("bottleneck"), std::string::npos);
+  EXPECT_NE(s.find("energy"), std::string::npos);
+}
+
+TEST(Energy, BufferChargedForWholeFrame) {
+  const HwConfig hw;
+  const SimReport r = simulate_frame(tiny_synthetic_workload(), baseline_pipeline_model(), hw);
+  const double expected_buffer = hw.buffer.power_w * r.total_cycles / hw.frequency_hz;
+  EXPECT_NEAR(r.energy.buffer_j, expected_buffer, 1e-12);
+}
+
+}  // namespace
+}  // namespace gstg

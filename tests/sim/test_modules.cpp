@@ -1,0 +1,117 @@
+#include "sim/modules.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/dram.h"
+
+namespace gstg {
+namespace {
+
+TEST(HwConfig, TableIIIDefaults) {
+  const HwConfig hw;
+  EXPECT_DOUBLE_EQ(hw.frequency_hz, 1.0e9);
+  EXPECT_EQ(hw.cores, 4);
+  EXPECT_NEAR(hw.total_area_mm2(), 3.984, 1e-9);   // Table III total
+  EXPECT_NEAR(hw.total_power_w(), 1.063, 1e-9);    // Table III total
+  EXPECT_DOUBLE_EQ(hw.dram_bytes_per_cycle(), 51.2);
+  EXPECT_EQ(hw.bytes_per_scalar, 2u);  // fp16 datapath
+}
+
+TEST(SortUnitCycles, QuicksortStreamsNLogNPasses) {
+  const HwConfig hw;
+  EXPECT_EQ(sort_unit_cycles(SorterKind::kQuicksort, 0, hw), 0.0);
+  EXPECT_EQ(sort_unit_cycles(SorterKind::kQuicksort, 1, hw), 0.0);
+  const double c256 = sort_unit_cycles(SorterKind::kQuicksort, 256, hw);
+  const double c512 = sort_unit_cycles(SorterKind::kQuicksort, 512, hw);
+  EXPECT_NEAR(c256, 256.0 * 8, 1e-6);
+  EXPECT_GT(c512, 2.0 * c256);           // superlinear
+  EXPECT_LT(c512, 2.5 * c256);           // but close to 2x(9/8)
+}
+
+TEST(SortUnitCycles, BitonicNetworkIsFasterPerList) {
+  const HwConfig hw;
+  // GSCore's 16-comparator bitonic network beats the streaming quicksort
+  // unit on a per-list basis (that design point is why per-tile sorting is
+  // viable for GSCore at all).
+  for (const std::size_t n : {64u, 256u, 1024u, 4096u}) {
+    EXPECT_LT(sort_unit_cycles(SorterKind::kBitonic, n, hw),
+              sort_unit_cycles(SorterKind::kQuicksort, n, hw))
+        << n;
+  }
+}
+
+TEST(SortUnitCycles, BitonicChunkPlusMergeFormula) {
+  const HwConfig hw;
+  // 64-element chunk: ceil(64*6*7/4 / 16) = 42 cycles, plus the n-cycle
+  // streaming merge.
+  EXPECT_EQ(sort_unit_cycles(SorterKind::kBitonic, 64, hw), 42.0 + 64.0);
+  EXPECT_EQ(sort_unit_cycles(SorterKind::kBitonic, 129, hw), 3.0 * 42.0 + 129.0);
+  EXPECT_EQ(sort_unit_cycles(SorterKind::kBitonic, 256, hw), 4.0 * 42.0 + 256.0);
+}
+
+TEST(PmCycles, CountsFeaturesAndIdentTests) {
+  const HwConfig hw;
+  FrameWorkload w;
+  w.input_gaussians = 4000;
+  w.ident_tests = 8000;
+  // (4000/1 + 8000/1) / 4 cores = 3000.
+  EXPECT_DOUBLE_EQ(pm_total_cycles(w, hw), 3000.0);
+}
+
+TEST(BgmCycles, EntriesPlusTestsOverUnits) {
+  const HwConfig hw;
+  EXPECT_DOUBLE_EQ(bgm_unit_cycles(BgmUnit{10, 40}, hw), 10.0 + 10.0);  // 40/4
+  EXPECT_DOUBLE_EQ(bgm_unit_cycles(BgmUnit{1, 1}, hw), 2.0);            // ceil(1/4)=1
+  EXPECT_DOUBLE_EQ(bgm_unit_cycles(BgmUnit{0, 0}, hw), 0.0);
+}
+
+TEST(GsmCycles, MatchesSortUnitModel) {
+  const HwConfig hw;
+  EXPECT_DOUBLE_EQ(gsm_unit_cycles(256, SorterKind::kQuicksort, hw), 256.0 * 8);
+  EXPECT_EQ(gsm_unit_cycles(0, SorterKind::kQuicksort, hw), 0.0);
+}
+
+TEST(RmCycles, FilterOverlapsRasterThroughFifo) {
+  const HwConfig hw;
+  RasterUnit t;
+  t.filter_len = 100;   // ceil(100/8)  = 13 cycles of filtering
+  t.alpha_evals = 1000; // ceil(1000/16) = 63
+  t.pixels = 256;       // ceil(256/16) = 16
+  // Filter feeds the FIFO in parallel: tile cost = max(13, 63 + 16).
+  EXPECT_DOUBLE_EQ(rm_tile_cycles(t, hw, true, 16), 79.0);
+  EXPECT_DOUBLE_EQ(rm_tile_cycles(t, hw, false, 16), 79.0);
+  // A tile whose list is filtered away almost entirely is filter-bound.
+  RasterUnit sparse;
+  sparse.filter_len = 4000;  // ceil(4000/8) = 500
+  sparse.alpha_evals = 64;   // 4 cycles
+  sparse.pixels = 256;       // 16 cycles
+  EXPECT_DOUBLE_EQ(rm_tile_cycles(sparse, hw, true, 16), 500.0);
+}
+
+TEST(PipelineModels, Labels) {
+  EXPECT_EQ(gstg_pipeline_model().label, "GS-TG");
+  EXPECT_TRUE(gstg_pipeline_model().has_bgm);
+  EXPECT_FALSE(baseline_pipeline_model().has_bgm);
+  EXPECT_EQ(baseline_pipeline_model().sorter, SorterKind::kQuicksort);
+  EXPECT_TRUE(gscore_pipeline_model().subtile_skip);
+  EXPECT_EQ(gscore_pipeline_model().sorter, SorterKind::kBitonic);
+}
+
+TEST(Dram, BandwidthAndEnergyArithmetic) {
+  const HwConfig hw;
+  DramModel dram(hw);
+  dram.read(512);
+  dram.write(512);
+  EXPECT_EQ(dram.total_bytes(), 1024u);
+  EXPECT_DOUBLE_EQ(dram.cycles(), 1024.0 / 51.2);
+  EXPECT_DOUBLE_EQ(dram.energy_j(), 20.0e-12 * 1024.0);
+}
+
+TEST(Dram, RejectsZeroBandwidth) {
+  HwConfig hw;
+  hw.dram_bytes_per_second = 0.0;
+  EXPECT_THROW(DramModel{hw}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gstg

@@ -1,0 +1,45 @@
+// Shared fixtures for renderer/core/sim tests: small deterministic clouds
+// and cameras that exercise the full pipeline quickly.
+#pragma once
+
+#include <random>
+
+#include "camera/camera.h"
+#include "gaussian/cloud.h"
+
+namespace gstg::testutil {
+
+/// Camera 5 units from the origin looking at it, given image size.
+inline Camera make_camera(int width = 256, int height = 192) {
+  return Camera::from_fov(width, height, 1.2f, look_at({0.0f, 0.0f, -5.0f}, {0.0f, 0.0f, 0.0f}));
+}
+
+/// A deterministic cloud of `n` random splats spread across the camera's
+/// field of view at depths 3..10, with varied anisotropy and opacity.
+inline GaussianCloud make_random_cloud(std::size_t n, unsigned seed, int sh_degree = 1) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<float> xy(-2.2f, 2.2f);
+  std::uniform_real_distribution<float> z(-2.0f, 5.0f);
+  std::uniform_real_distribution<float> scl(0.02f, 0.35f);
+  std::uniform_real_distribution<float> rot(-1.0f, 1.0f);
+  std::uniform_real_distribution<float> op(0.05f, 0.98f);
+  std::uniform_real_distribution<float> col(0.05f, 0.95f);
+  GaussianCloud cloud(sh_degree);
+  cloud.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cloud.add_solid({xy(gen), xy(gen), z(gen)}, {scl(gen), scl(gen), scl(gen)},
+                    Quat{rot(gen), rot(gen), rot(gen), rot(gen)}, op(gen),
+                    {col(gen), col(gen), col(gen)});
+  }
+  return cloud;
+}
+
+/// A cloud with exactly one splat at the given world position.
+inline GaussianCloud single_splat(Vec3 pos, Vec3 scale, float opacity, Vec3 rgb,
+                                  int sh_degree = 0) {
+  GaussianCloud cloud(sh_degree);
+  cloud.add_solid(pos, scale, Quat{}, opacity, rgb);
+  return cloud;
+}
+
+}  // namespace gstg::testutil
