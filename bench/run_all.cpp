@@ -1,0 +1,296 @@
+// run_all: one driver for the whole perf trajectory. Renders every requested
+// scene with the baseline tile pipeline and with GS-TG (16+64, Ellipse),
+// verifies the lossless claim on the way, optionally runs the three-design
+// hardware simulation, and writes machine-readable BENCH_*.json files that
+// CI archives so regressions are visible across PRs.
+//
+// Run:  ./run_all [--out-dir=.] [--repeat=3] [--scenes=train,truck]
+//                 [--skip-sim] [--threads=N]
+//
+// Outputs:
+//   BENCH_software.json  per-scene stage times + work counters, both pipelines
+//   BENCH_hardware.json  per-scene cycles/fps/energy for baseline/GSCore/GS-TG
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "common/cli.h"
+#include "common/runconfig.h"
+#include "core/pipeline.h"
+#include "render/framebuffer.h"
+#include "render/pipeline.h"
+#include "sim_runner.h"
+
+namespace {
+
+using namespace gstg;
+using benchutil::cached_scene;
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string::size_type start = 0;
+  while (start <= csv.size()) {
+    const auto comma = csv.find(',', start);
+    const auto end = (comma == std::string::npos) ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Minimal JSON writer: enough structure for the BENCH_*.json records, no
+/// dependency. Tracks "first member" state so callers just emit key/values.
+class JsonWriter {
+ public:
+  explicit JsonWriter(const std::string& path) : file_(std::fopen(path.c_str(), "w")) {
+    if (file_ == nullptr) throw std::runtime_error("run_all: cannot open " + path);
+  }
+  ~JsonWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void open_object() { punctuate("{"); first_ = true; ++depth_; }
+  void close_object() { --depth_; newline_indent(); std::fputs("}", file_); first_ = false; }
+  void open_array(const std::string& key) { this->key(key); std::fputs("[", file_); first_ = true; ++depth_; }
+  void close_array() { --depth_; newline_indent(); std::fputs("]", file_); first_ = false; }
+  void open_object(const std::string& key) { this->key(key); std::fputs("{", file_); first_ = true; ++depth_; }
+
+  void value(const std::string& key, const std::string& v) {
+    this->key(key);
+    std::fprintf(file_, "\"%s\"", escape(v).c_str());
+  }
+  void value(const std::string& key, double v) {
+    this->key(key);
+    // Bare inf/nan tokens are not JSON; emit null so the file stays parseable.
+    if (std::isfinite(v)) {
+      std::fprintf(file_, "%.6g", v);
+    } else {
+      std::fputs("null", file_);
+    }
+  }
+  void value(const std::string& key, std::size_t v) {
+    this->key(key);
+    std::fprintf(file_, "%zu", v);
+  }
+  void value(const std::string& key, int v) {
+    this->key(key);
+    std::fprintf(file_, "%d", v);
+  }
+
+  void finish() {
+    std::fputs("\n", file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+  void punctuate(const char* open) {
+    if (!first_ && depth_ > 0) std::fputs(",", file_);
+    if (depth_ > 0) newline_indent();
+    std::fputs(open, file_);
+  }
+  void key(const std::string& k) {
+    if (!first_) std::fputs(",", file_);
+    newline_indent();
+    std::fprintf(file_, "\"%s\": ", escape(k).c_str());
+    first_ = false;
+  }
+  void newline_indent() {
+    std::fputs("\n", file_);
+    for (int i = 0; i < depth_; ++i) std::fputs("  ", file_);
+  }
+
+  std::FILE* file_;
+  bool first_ = true;
+  int depth_ = 0;
+};
+
+void write_header(JsonWriter& json, const char* kind) {
+  const RunScale scale = run_scale_from_env();
+  json.value("bench", kind);
+  const std::time_t now = std::time(nullptr);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", std::gmtime(&now));
+  json.value("timestamp_utc", stamp);
+  json.open_object("scale");
+  json.value("resolution_divisor", scale.resolution_divisor);
+  json.value("gaussian_divisor", scale.gaussian_divisor);
+  json.close_object();
+}
+
+void write_counters(JsonWriter& json, const RenderCounters& c) {
+  json.value("visible_gaussians", c.visible_gaussians);
+  json.value("tile_pairs", c.tile_pairs);
+  json.value("sort_pairs", c.sort_pairs);
+  json.value("sort_comparison_volume", c.sort_comparison_volume);
+  json.value("alpha_computations", c.alpha_computations);
+  json.value("blend_ops", c.blend_ops);
+  json.value("bitmask_tests", c.bitmask_tests);
+  json.value("filter_checks", c.filter_checks);
+}
+
+void write_times(JsonWriter& json, const StageTimes& t) {
+  json.value("preprocess_ms", t.preprocess_ms);
+  json.value("bitmask_ms", t.bitmask_ms);
+  json.value("sort_ms", t.sort_ms);
+  json.value("raster_ms", t.raster_ms);
+  json.value("total_ms", t.total_ms());
+}
+
+/// Best-of-N render so the JSON carries the least-noisy timing sample.
+template <typename RenderFn>
+RenderResult best_of(int repeat, const RenderFn& render) {
+  RenderResult best = render();
+  for (int i = 1; i < repeat; ++i) {
+    RenderResult r = render();
+    if (r.times.total_ms() < best.times.total_ms()) best = std::move(r);
+  }
+  return best;
+}
+
+bool run_software(const std::vector<std::string>& scenes, int repeat, std::size_t threads,
+                  const std::string& path) {
+  bool lossless_ok = true;
+  JsonWriter json(path);
+  json.open_object();
+  write_header(json, "software_pipelines");
+  json.open_array("scenes");
+  for (const std::string& name : scenes) {
+    const Scene& scene = cached_scene(name);
+    std::printf("run_all: %s (%zu gaussians, %dx%d)\n", name.c_str(), scene.cloud.size(),
+                scene.render_width, scene.render_height);
+
+    RenderConfig baseline_config;
+    baseline_config.tile_size = 16;
+    baseline_config.boundary = Boundary::kEllipse;
+    baseline_config.threads = threads;
+    const RenderResult baseline = best_of(repeat, [&] {
+      return render_baseline(scene.cloud, scene.camera, baseline_config);
+    });
+
+    GsTgConfig gstg_config;  // 16+64, Ellipse+Ellipse: the paper's default
+    gstg_config.threads = threads;
+    const RenderResult gstg = best_of(repeat, [&] {
+      return render_gstg(scene.cloud, scene.camera, gstg_config);
+    });
+
+    const float diff = max_abs_diff(baseline.image, gstg.image);
+    if (diff != 0.0f) {
+      lossless_ok = false;
+      std::fprintf(stderr, "run_all: LOSSLESS VIOLATION on %s (max diff %g)\n", name.c_str(),
+                   static_cast<double>(diff));
+    }
+
+    json.open_object();
+    json.value("scene", name);
+    json.value("gaussians", scene.cloud.size());
+    json.value("width", scene.render_width);
+    json.value("height", scene.render_height);
+    json.value("lossless_max_abs_diff", static_cast<double>(diff));
+    json.open_object("baseline");
+    write_times(json, baseline.times);
+    write_counters(json, baseline.counters);
+    json.close_object();
+    json.open_object("gstg");
+    write_times(json, gstg.times);
+    write_counters(json, gstg.counters);
+    json.close_object();
+    json.open_object("ratios");
+    json.value("speedup_gpu_order",
+               gstg.times.total_ms() > 0.0 ? baseline.times.total_ms() / gstg.times.total_ms()
+                                           : 0.0);
+    json.value("sort_pair_reduction",
+               static_cast<double>(baseline.counters.sort_pairs) /
+                   static_cast<double>(gstg.counters.sort_pairs ? gstg.counters.sort_pairs : 1));
+    json.close_object();
+    json.close_object();
+  }
+  json.close_array();
+  json.close_object();
+  json.finish();
+  std::printf("run_all: wrote %s\n", path.c_str());
+  return lossless_ok;
+}
+
+void write_report(JsonWriter& json, const SimReport& r) {
+  json.value("total_cycles", r.total_cycles);
+  json.value("fps", r.fps);
+  json.value("bottleneck", r.bottleneck);
+  json.value("dram_bytes", r.dram_bytes);
+  json.value("energy_j", r.energy.total_j());
+  json.value("frames_per_joule", r.frames_per_joule());
+}
+
+void run_hardware(const std::vector<std::string>& scenes, const std::string& path) {
+  JsonWriter json(path);
+  json.open_object();
+  write_header(json, "hardware_sim");
+  json.open_array("scenes");
+  for (const std::string& name : scenes) {
+    std::printf("run_all: simulating %s (baseline / GSCore / GS-TG)\n", name.c_str());
+    const benchutil::SceneSims sims = benchutil::simulate_scene(name);
+    json.open_object();
+    json.value("scene", name);
+    json.open_object("baseline");
+    write_report(json, sims.baseline);
+    json.close_object();
+    json.open_object("gscore");
+    write_report(json, sims.gscore);
+    json.close_object();
+    json.open_object("gstg");
+    write_report(json, sims.gstg);
+    json.close_object();
+    json.open_object("ratios");
+    json.value("speedup_vs_baseline", sims.gstg.fps / (sims.baseline.fps > 0.0 ? sims.baseline.fps : 1.0));
+    json.value("speedup_vs_gscore", sims.gstg.fps / (sims.gscore.fps > 0.0 ? sims.gscore.fps : 1.0));
+    json.close_object();
+    json.close_object();
+  }
+  json.close_array();
+  json.close_object();
+  json.finish();
+  std::printf("run_all: wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv);
+    args.require_known({"out-dir", "repeat", "scenes", "skip-sim", "threads"});
+    const std::string out_dir = args.get("out-dir", ".");
+    const int repeat = args.get_int("repeat", 3);
+    const std::size_t threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    std::vector<std::string> scenes =
+        split_csv(args.get("scenes", ""));
+    if (scenes.empty()) scenes = benchutil::algo_scene_names();
+
+    benchutil::print_scale_banner("run_all: software + hardware sweep");
+    const bool lossless_ok =
+        run_software(scenes, repeat, threads, out_dir + "/BENCH_software.json");
+    if (!args.has("skip-sim")) {
+      run_hardware(scenes, out_dir + "/BENCH_hardware.json");
+    }
+    // A lossless violation is a correctness regression, not a perf data
+    // point: fail the driver so CI's bench step goes red.
+    return lossless_ok ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run_all: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,17 @@
+# Defines gstg::sanitizers, an INTERFACE target that turns on ASan + UBSan
+# when GSTG_SANITIZE is set. Linked PUBLIC through the layer libraries so
+# every test/bench/example executable inherits the instrumented runtime.
+add_library(gstg_sanitizers INTERFACE)
+add_library(gstg::sanitizers ALIAS gstg_sanitizers)
+
+if(GSTG_SANITIZE)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(gstg_sanitizers INTERFACE
+      -fsanitize=address,undefined
+      -fno-sanitize-recover=all
+      -fno-omit-frame-pointer)
+    target_link_options(gstg_sanitizers INTERFACE -fsanitize=address,undefined)
+  else()
+    message(WARNING "GSTG_SANITIZE requested but not supported for ${CMAKE_CXX_COMPILER_ID}")
+  endif()
+endif()

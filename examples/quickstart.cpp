@@ -36,8 +36,8 @@ int main(int argc, char** argv) {
     const RenderResult ours = render_gstg(scene.cloud, scene.camera, gstg_config);
 
     const float diff = max_abs_diff(baseline.image, ours.image);
-    std::printf("\nlossless check: max |baseline - GS-TG| = %g  (%s)\n", diff,
-                diff == 0.0f ? "bit-exact" : "MISMATCH");
+    std::printf("\nlossless check: max |baseline - GS-TG| = %g  (%s)\n",
+                static_cast<double>(diff), diff == 0.0f ? "bit-exact" : "MISMATCH");
 
     TextTable table("Baseline vs GS-TG (one frame)");
     table.set_header({"metric", "baseline", "GS-TG"});

@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
     if (args.has("fp16")) {
       const QuantizeReport q = quantize_cloud_to_fp16(scene.cloud);
       std::printf("fp16 quantisation: max position err %.3g, max SH err %.3g\n",
-                  q.max_position_error, q.max_sh_error);
+                  static_cast<double>(q.max_position_error),
+                  static_cast<double>(q.max_sh_error));
     }
 
     RenderResult result = [&] {

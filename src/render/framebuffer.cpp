@@ -52,8 +52,9 @@ double psnr(const Framebuffer& a, const Framebuffer& b) {
   double mse = 0.0;
   for (std::size_t i = 0; i < a.pixels().size(); ++i) {
     const Vec3 d = a.pixels()[i] - b.pixels()[i];
-    mse += static_cast<double>(d.x) * d.x + static_cast<double>(d.y) * d.y +
-           static_cast<double>(d.z) * d.z;
+    mse += static_cast<double>(d.x) * static_cast<double>(d.x) +
+           static_cast<double>(d.y) * static_cast<double>(d.y) +
+           static_cast<double>(d.z) * static_cast<double>(d.z);
   }
   mse /= static_cast<double>(a.pixels().size()) * 3.0;
   if (mse <= 0.0) return std::numeric_limits<double>::infinity();

@@ -18,7 +18,8 @@ std::vector<double> luminance(const Framebuffer& image) {
   std::vector<double> out(image.pixels().size());
   for (std::size_t i = 0; i < out.size(); ++i) {
     const Vec3& p = image.pixels()[i];
-    out[i] = 0.299 * p.x + 0.587 * p.y + 0.114 * p.z;
+    out[i] = 0.299 * static_cast<double>(p.x) + 0.587 * static_cast<double>(p.y) +
+             0.114 * static_cast<double>(p.z);
   }
   return out;
 }
@@ -79,9 +80,9 @@ ChannelPsnr channel_psnr(const Framebuffer& a, const Framebuffer& b) {
   double mse[3] = {0.0, 0.0, 0.0};
   for (std::size_t i = 0; i < a.pixels().size(); ++i) {
     const Vec3 d = a.pixels()[i] - b.pixels()[i];
-    mse[0] += static_cast<double>(d.x) * d.x;
-    mse[1] += static_cast<double>(d.y) * d.y;
-    mse[2] += static_cast<double>(d.z) * d.z;
+    mse[0] += static_cast<double>(d.x) * static_cast<double>(d.x);
+    mse[1] += static_cast<double>(d.y) * static_cast<double>(d.y);
+    mse[2] += static_cast<double>(d.z) * static_cast<double>(d.z);
   }
   const double n = static_cast<double>(a.pixels().size());
   const auto to_db = [n](double m) {

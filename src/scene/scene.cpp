@@ -102,7 +102,9 @@ void emit_box(GaussianCloud& cloud, Rng& rng, Vec3 center, Vec3 half, std::size_
   const float total = 2.0f * (ax + ay + az);
   if (total <= 0.0f || count == 0) return;
   const auto face_count = [&](float area) {
-    return static_cast<std::size_t>(std::lround(static_cast<double>(count) * area / total));
+    return static_cast<std::size_t>(
+        std::lround(static_cast<double>(count) * static_cast<double>(area) /
+                    static_cast<double>(total)));
   };
   const Vec3 ux{1, 0, 0}, uy{0, 1, 0}, uz{0, 0, 1};
   // +x / -x
@@ -183,7 +185,8 @@ void build_indoor_room(GaussianCloud& cloud, Rng& rng, std::size_t budget) {
   const float floor_area = w * d, wall_xz = w * h, wall_yz = d * h;
   const float total = 2.0f * floor_area + 2.0f * wall_xz + 2.0f * wall_yz;
   const auto part = [&](float area) {
-    return static_cast<std::size_t>(static_cast<double>(wall_count) * area / total);
+    return static_cast<std::size_t>(static_cast<double>(wall_count) * static_cast<double>(area) /
+                                    static_cast<double>(total));
   };
   emit_patch(cloud, rng, {0, 0, 0}, {1, 0, 0}, {0, 0, 1}, w / 2, d / 2, part(floor_area),
              {0.45f, 0.35f, 0.25f}, wall_shape);  // floor

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <random>
 
@@ -61,6 +62,81 @@ TEST(Half, SubnormalsRoundTrip) {
   const float big_sub = std::ldexp(1023.0f, -24);
   EXPECT_EQ(Half(big_sub).bits(), 0x03ffu);
   EXPECT_EQ(Half(big_sub).to_float(), big_sub);
+}
+
+TEST(Half, NanSignAndPayloadSurvive) {
+  // A NaN must stay a NaN through fp32 -> fp16 -> fp32 with its sign intact,
+  // and the conversion must set a payload bit (never produce infinity).
+  const float qnan = std::numeric_limits<float>::quiet_NaN();
+  const Half pos(qnan);
+  const Half neg(-qnan);
+  EXPECT_TRUE(pos.is_nan());
+  EXPECT_TRUE(neg.is_nan());
+  EXPECT_FALSE(pos.is_inf());
+  EXPECT_EQ(neg.bits() & 0x8000u, 0x8000u);
+  EXPECT_TRUE(std::isnan(neg.to_float()));
+  EXPECT_TRUE(std::signbit(neg.to_float()));
+}
+
+TEST(Half, NanWithSmallPayloadStaysNan) {
+  // A float NaN whose high mantissa bits are zero would truncate to an
+  // all-zero fp16 mantissa (= infinity) without the payload-preservation
+  // bit. Build one from raw bits: exponent all ones, mantissa 1.
+  const std::uint32_t raw = 0x7f80'0001u;
+  float f;
+  static_assert(sizeof(f) == sizeof(raw));
+  std::memcpy(&f, &raw, sizeof(f));
+  ASSERT_TRUE(std::isnan(f));
+  EXPECT_TRUE(Half(f).is_nan());
+  EXPECT_FALSE(Half(f).is_inf());
+}
+
+TEST(Half, InfinityBitPatterns) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(Half(inf).bits(), 0x7c00u);
+  EXPECT_EQ(Half(-inf).bits(), 0xfc00u);
+  EXPECT_TRUE(Half::from_bits(0x7c00u).is_inf());
+  EXPECT_FALSE(Half::from_bits(0x7c00u).is_nan());
+  EXPECT_TRUE(std::isinf(Half::from_bits(0xfc00u).to_float()));
+}
+
+TEST(Half, SubnormalBoundaryRounding) {
+  // 2^-25 is exactly halfway between 0 and the smallest subnormal 2^-24:
+  // round-to-nearest-even keeps the even neighbour (zero).
+  EXPECT_EQ(Half(std::ldexp(1.0f, -25)).bits(), 0x0000u);
+  // Anything strictly above the halfway point rounds up to the subnormal.
+  EXPECT_EQ(Half(std::ldexp(1.1f, -25)).bits(), 0x0001u);
+  // 3 * 2^-25 is halfway between subnormals 1 and 2: rounds to even (2).
+  EXPECT_EQ(Half(3.0f * std::ldexp(1.0f, -25)).bits(), 0x0002u);
+  // Negative side mirrors with the sign bit.
+  EXPECT_EQ(Half(-std::ldexp(1.0f, -25)).bits(), 0x8000u);
+  EXPECT_EQ(Half(-std::ldexp(1.0f, -24)).bits(), 0x8001u);
+}
+
+TEST(Half, SubnormalToNormalTransition) {
+  // Largest subnormal (1023 * 2^-24) and smallest normal (2^-14) are
+  // adjacent; values between them must round to one of the two.
+  const float largest_sub = std::ldexp(1023.0f, -24);
+  const float smallest_norm = std::ldexp(1.0f, -14);
+  EXPECT_EQ(Half(largest_sub).bits(), 0x03ffu);
+  EXPECT_EQ(Half(smallest_norm).bits(), 0x0400u);
+  const float midpoint = (largest_sub + smallest_norm) / 2.0f;
+  // Halfway rounds to even: mantissa 0x400 (the normal).
+  EXPECT_EQ(Half(midpoint).bits(), 0x0400u);
+}
+
+TEST(Half, SubnormalsExhaustiveRoundTrip) {
+  // Every subnormal half (exp 0, mantissa 1..1023, both signs) converts to
+  // an exactly-representable float and back to the same bits.
+  for (std::uint32_t mant = 1; mant <= 0x3ffu; ++mant) {
+    for (const std::uint32_t sign : {0x0000u, 0x8000u}) {
+      const auto bits = static_cast<std::uint16_t>(sign | mant);
+      const Half h = Half::from_bits(bits);
+      const float f = h.to_float();
+      EXPECT_EQ(f, std::ldexp(static_cast<float>(mant), -24) * (sign ? -1.0f : 1.0f));
+      EXPECT_EQ(Half(f).bits(), bits);
+    }
+  }
 }
 
 TEST(Half, RoundToNearestEven) {

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "../test_helpers.h"
 #include "core/pipeline.h"
@@ -84,6 +86,67 @@ INSTANTIATE_TEST_SUITE_P(
         LosslessCase{32, 64, Boundary::kAabb, Boundary::kAabb},
         LosslessCase{16, 16, Boundary::kEllipse, Boundary::kEllipse}),  // 1 tile/group
     case_name);
+
+// Geometry x thread-count sweep: the paper's Fig. 11 tile/group combinations
+// must stay bit-exact whether the grouped pipeline runs single-threaded or
+// with a worker pool (the accelerator's parallel execution model).
+struct SweepCase {
+  int tile = 16;
+  int group = 64;
+  std::size_t threads = 1;
+};
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  const SweepCase& c = info.param;
+  // Built with appends: the operator+ chain trips GCC 12's -Wrestrict
+  // false positive (PR 105329) at -O2.
+  std::string name = "t";
+  name += std::to_string(c.tile);
+  name += "_g";
+  name += std::to_string(c.group);
+  name += "_threads";
+  name += std::to_string(c.threads);
+  return name;
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const auto& [tile, group] : {std::pair{8, 32}, {8, 64}, {16, 32}, {16, 64}}) {
+    for (const std::size_t threads : {1, 4}) {
+      cases.push_back(SweepCase{tile, group, threads});
+    }
+  }
+  return cases;
+}
+
+class LosslessSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(LosslessSweepTest, BitExactAcrossGeometryAndThreads) {
+  const SweepCase& c = GetParam();
+  const Camera cam = make_camera(240, 176);
+  const GaussianCloud cloud = testutil::make_random_cloud(1200, 91);
+
+  RenderConfig baseline;
+  baseline.tile_size = c.tile;
+  baseline.boundary = Boundary::kEllipse;
+  baseline.threads = 1;  // single-threaded oracle
+  const RenderResult ref = render_baseline(cloud, cam, baseline);
+
+  GsTgConfig config;
+  config.tile_size = c.tile;
+  config.group_size = c.group;
+  config.threads = c.threads;
+  ASSERT_TRUE(config.lossless_guaranteed());
+  const RenderResult ours = render_gstg(cloud, cam, config);
+
+  EXPECT_EQ(max_abs_diff(ref.image, ours.image), 0.0f);
+  EXPECT_EQ(ref.counters.alpha_computations, ours.counters.alpha_computations);
+  EXPECT_EQ(ref.counters.blend_ops, ours.counters.blend_ops);
+  EXPECT_LT(ours.counters.sort_pairs, ref.counters.sort_pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(GeometryThreadSweep, LosslessSweepTest,
+                         ::testing::ValuesIn(sweep_cases()), sweep_name);
 
 class LosslessSceneTest : public ::testing::TestWithParam<const char*> {};
 

@@ -61,7 +61,7 @@ TEST(Sh, BasisOrthonormalUnderSphereIntegral) {
     eval_sh_basis(3, random_unit(gen), basis);
     for (int i = 0; i < 16; ++i) {
       for (int j = i; j < 16; ++j) {
-        gram[i][j] += static_cast<double>(basis[i]) * basis[j];
+        gram[i][j] += static_cast<double>(basis[i]) * static_cast<double>(basis[j]);
       }
     }
   }

@@ -54,8 +54,8 @@ TEST_P(GlobalSortEquivalenceTest, MatchesPerTileSortExactly) {
 
 INSTANTIATE_TEST_SUITE_P(Boundaries, GlobalSortEquivalenceTest,
                          ::testing::Values(Boundary::kAabb, Boundary::kObb, Boundary::kEllipse),
-                         [](const ::testing::TestParamInfo<Boundary>& info) {
-                           return to_string(info.param);
+                         [](const ::testing::TestParamInfo<Boundary>& param_info) {
+                           return to_string(param_info.param);
                          });
 
 TEST(GlobalSort, DeterministicAcrossThreadCounts) {

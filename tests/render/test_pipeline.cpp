@@ -18,7 +18,7 @@ TEST(BaselinePipeline, RendersNonEmptyImage) {
 
   // Some pixels received colour.
   double total = 0.0;
-  for (const Vec3& p : result.image.pixels()) total += p.x + p.y + p.z;
+  for (const Vec3& p : result.image.pixels()) total += static_cast<double>(p.x + p.y + p.z);
   EXPECT_GT(total, 1.0);
 
   EXPECT_EQ(result.counters.input_gaussians, 1500u);
