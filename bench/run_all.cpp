@@ -10,6 +10,7 @@
 // Outputs:
 //   BENCH_software.json  per-scene stage times + work counters, both pipelines
 //   BENCH_hardware.json  per-scene cycles/fps/energy for baseline/GSCore/GS-TG
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <ctime>
@@ -20,9 +21,12 @@
 #include "common.h"
 #include "common/cli.h"
 #include "common/runconfig.h"
+#include "common/timer.h"
 #include "core/pipeline.h"
+#include "core/renderer.h"
 #include "render/framebuffer.h"
 #include "render/pipeline.h"
+#include "render/preprocess.h"
 #include "sim_runner.h"
 
 namespace {
@@ -163,6 +167,63 @@ RenderResult best_of(int repeat, const RenderFn& render) {
   return best;
 }
 
+/// Best-of-N wall-clock of an arbitrary action (milliseconds).
+template <typename Fn>
+double best_ms_of(int repeat, const Fn& fn) {
+  double best = 1e300;
+  for (int i = 0; i < std::max(1, repeat); ++i) {
+    Timer timer;
+    fn();
+    best = std::min(best, timer.lap_ms());
+  }
+  return best;
+}
+
+/// Isolated group-sort timing: the unsorted frame inputs are built once,
+/// then each algorithm sorts a fresh copy. This is the acceptance signal
+/// that the packed-key radix path is no slower than the comparison sort it
+/// replaced.
+struct GroupSortTiming {
+  double comparison_ms = 0.0;
+  double auto_ms = 0.0;
+  double radix_ms = 0.0;
+};
+
+GroupSortTiming time_group_sort(const Scene& scene, int repeat, std::size_t threads) {
+  GsTgConfig config;
+  config.threads = threads;
+
+  RenderCounters counters;
+  const std::vector<ProjectedSplat> splats =
+      preprocess(scene.cloud, scene.camera, config.render_config(), counters);
+  const CellGrid group_grid =
+      CellGrid::over_image(scene.camera.width(), scene.camera.height(), config.group_size);
+  const CellGrid tile_grid =
+      CellGrid::over_image(scene.camera.width(), scene.camera.height(), config.tile_size);
+  const BinnedSplats bins = identify_groups(splats, group_grid, config, counters);
+  const std::vector<TileMask> masks =
+      generate_bitmasks(splats, bins, tile_grid, config, counters);
+
+  const auto run = [&](SortAlgo algo) {
+    SortScratch scratch;
+    double best = 1e300;
+    for (int i = 0; i < std::max(1, repeat); ++i) {
+      BinnedSplats work = bins;  // copies stay outside the timed section
+      std::vector<TileMask> work_masks = masks;
+      RenderCounters c;
+      Timer timer;
+      sort_groups(work, work_masks, splats, threads, c, algo, &scratch);
+      best = std::min(best, timer.lap_ms());
+    }
+    return best;
+  };
+  GroupSortTiming t;
+  t.comparison_ms = run(SortAlgo::kComparison);
+  t.auto_ms = run(SortAlgo::kAuto);
+  t.radix_ms = run(SortAlgo::kRadix);
+  return t;
+}
+
 bool run_software(const std::vector<std::string>& scenes, int repeat, std::size_t threads,
                   const std::string& path) {
   bool lossless_ok = true;
@@ -218,6 +279,54 @@ bool run_software(const std::vector<std::string>& scenes, int repeat, std::size_
                static_cast<double>(baseline.counters.sort_pairs) /
                    static_cast<double>(gstg.counters.sort_pairs ? gstg.counters.sort_pairs : 1));
     json.close_object();
+
+    // Isolated group-sort A/B: the default (kAuto) path must be no slower
+    // than the comparison sort it replaced.
+    const GroupSortTiming gs = time_group_sort(scene, repeat, threads);
+    json.open_object("group_sort");
+    json.value("comparison_ms", gs.comparison_ms);
+    json.value("auto_ms", gs.auto_ms);
+    json.value("radix_ms", gs.radix_ms);
+    json.value("speedup_auto_vs_comparison",
+               gs.auto_ms > 0.0 ? gs.comparison_ms / gs.auto_ms : 0.0);
+    json.close_object();
+
+    // Batched rendering over an orbit: bit-identity against the sequential
+    // loop is part of the correctness gate; the wall-clock ratio is the
+    // view-level-parallelism payoff.
+    {
+      const int views = 4;
+      const auto cameras = orbit_cameras(scene, views);
+      GsTgConfig batch_config;
+      batch_config.threads = 1;  // parallelism across views, not inside frames
+      double sequential_ms = 0.0;
+      std::vector<RenderResult> sequential;
+      sequential.reserve(cameras.size());
+      {
+        Timer timer;
+        for (const Camera& camera : cameras) {
+          sequential.push_back(render_gstg(scene.cloud, camera, batch_config));
+        }
+        sequential_ms = timer.lap_ms();
+      }
+      const BatchRenderResult batch = render_batch(scene.cloud, cameras, batch_config);
+      bool identical = true;
+      for (std::size_t v = 0; v < cameras.size(); ++v) {
+        if (max_abs_diff(sequential[v].image, batch.images[v]) != 0.0f) identical = false;
+      }
+      if (!identical) {
+        lossless_ok = false;
+        std::fprintf(stderr, "run_all: BATCH MISMATCH on %s (batch != sequential)\n",
+                     name.c_str());
+      }
+      json.open_object("batch");
+      json.value("views", views);
+      json.value("sequential_ms", sequential_ms);
+      json.value("batch_wall_ms", batch.wall_ms);
+      json.value("speedup", batch.wall_ms > 0.0 ? sequential_ms / batch.wall_ms : 0.0);
+      json.value("identical_to_sequential", identical ? "true" : "false");
+      json.close_object();
+    }
     json.close_object();
   }
   json.close_array();

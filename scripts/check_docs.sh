@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Documentation consistency gate, run by CI's docs job and registered as a
+# CTest test (label: docs). Two checks:
+#   1. Every relative markdown link in README.md, docs/*.md, bench/README.md
+#      resolves to an existing file or directory.
+#   2. docs/CONFIG.md mentions every field of GsTgConfig (and RenderConfig),
+#      so the config reference cannot silently rot.
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+fail=0
+
+# --- 1. relative links resolve -------------------------------------------
+docs="README.md bench/README.md"
+for f in docs/*.md; do docs="$docs $f"; done
+
+for doc in $docs; do
+  [ -f "$doc" ] || { echo "MISSING DOC: $doc"; fail=1; continue; }
+  dir=$(dirname "$doc")
+  # Markdown inline links: capture the (...) target, keep relative ones.
+  links=$(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//')
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="${link%%#*}"            # strip anchors
+    [ -n "$target" ] || continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "BROKEN LINK in $doc: $link"
+      fail=1
+    fi
+  done
+done
+
+# --- 2. CONFIG.md covers every config field ------------------------------
+check_fields() {
+  header=$1
+  struct=$2
+  # Field names: lines like "  <type> <name> = ...;" or "  <type> <name>;"
+  # at member indentation (exactly two spaces — deeper lines are method
+  # bodies), ignoring comments and functions.
+  fields=$(awk "/^struct $struct /,/^};/" "$header" \
+    | grep -v '^\s*//' \
+    | grep -E '^  [A-Za-z_][A-Za-z0-9_:<>]*\s+[a-z_][a-z0-9_]*\s*(=[^;]*)?;' \
+    | sed -E 's/^  [A-Za-z_][A-Za-z0-9_:<>]*\s+([a-z_][a-z0-9_]*).*/\1/')
+  if [ -z "$fields" ]; then
+    echo "NO FIELDS FOUND for $struct in $header (check_docs.sh pattern broke?)"
+    fail=1
+    return
+  fi
+  for field in $fields; do
+    if ! grep -q "\`$field\`" docs/CONFIG.md; then
+      echo "UNDOCUMENTED FIELD: $struct::$field missing from docs/CONFIG.md"
+      fail=1
+    fi
+  done
+}
+
+check_fields src/core/gstg_config.h GsTgConfig
+check_fields src/render/types.h RenderConfig
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: OK (links resolve, config fields documented)"

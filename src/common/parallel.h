@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <thread>
 #include <vector>
 
@@ -14,13 +13,28 @@
 
 namespace gstg {
 
+/// Number of distinct worker indices parallel_for_chunks will invoke for a
+/// range of n items under the same `threads` request — always >= 1. Callers
+/// size per-worker accumulator arrays from this instead of guessing a cap,
+/// so a worker index can never alias another slot.
+inline std::size_t planned_worker_count(std::size_t n, std::size_t threads = 0) {
+  if (n == 0) return 1;
+  std::size_t workers = threads == 0 ? worker_thread_count() : threads;
+  if (workers > n) workers = n;
+  if (workers <= 1 || n < 256) return 1;
+  const std::size_t chunk = (n + workers - 1) / workers;
+  return (n + chunk - 1) / chunk;  // workers whose chunk is non-empty
+}
+
 /// Invokes fn(chunk_begin, chunk_end, worker_index) on `threads` workers
 /// covering [begin, end) with contiguous chunks. threads == 0 selects
 /// worker_thread_count(). Runs inline when the range is small or only one
-/// worker is requested.
-inline void parallel_for_chunks(std::size_t begin, std::size_t end,
-                                const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
-                                std::size_t threads = 0) {
+/// worker is requested — a template over the callable so the single-worker
+/// path performs no allocation (no std::function boxing). Worker indices
+/// are dense in [0, planned_worker_count(end - begin, threads)).
+template <typename Fn>
+void parallel_for_chunks(std::size_t begin, std::size_t end, const Fn& fn,
+                         std::size_t threads = 0) {
   const std::size_t n = end > begin ? end - begin : 0;
   if (n == 0) return;
   std::size_t workers = threads == 0 ? worker_thread_count() : threads;

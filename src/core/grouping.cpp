@@ -1,6 +1,7 @@
 #include "core/grouping.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
@@ -19,16 +20,24 @@ std::vector<TileMask> generate_bitmasks(std::span<const ProjectedSplat> splats,
                                         const BinnedSplats& group_bins,
                                         const CellGrid& tile_grid, const GsTgConfig& config,
                                         RenderCounters& counters) {
+  std::vector<TileMask> masks;
+  generate_bitmasks_into(splats, group_bins, tile_grid, config, counters, masks);
+  return masks;
+}
+
+void generate_bitmasks_into(std::span<const ProjectedSplat> splats,
+                            const BinnedSplats& group_bins, const CellGrid& tile_grid,
+                            const GsTgConfig& config, RenderCounters& counters,
+                            std::vector<TileMask>& masks) {
   config.validate();
   const CellGrid& group_grid = group_bins.grid;
   const int r = config.tiles_per_side();
-  std::vector<TileMask> masks(group_bins.splat_ids.size(), 0);
+  masks.assign(group_bins.splat_ids.size(), 0);
 
-  constexpr std::size_t kMaxWorkers = 256;
-  std::vector<std::size_t> tests_per_worker(kMaxWorkers, 0);
+  std::atomic<std::size_t> tests{0};
 
   const std::size_t groups = static_cast<std::size_t>(group_grid.cell_count());
-  parallel_for_chunks(0, groups, [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+  parallel_for_chunks(0, groups, [&](std::size_t lo, std::size_t hi, std::size_t) {
     std::size_t local_tests = 0;
     for (std::size_t g = lo; g < hi; ++g) {
       const int gx = static_cast<int>(g) % group_grid.cells_x;
@@ -76,78 +85,102 @@ std::vector<TileMask> generate_bitmasks(std::span<const ProjectedSplat> splats,
         masks[e] = mask;
       }
     }
-    tests_per_worker[worker % kMaxWorkers] += local_tests;
+    tests.fetch_add(local_tests, std::memory_order_relaxed);
   }, config.threads);
 
-  for (const std::size_t t : tests_per_worker) counters.bitmask_tests += t;
-  return masks;
+  counters.bitmask_tests += tests.load();
 }
 
 void sort_groups(BinnedSplats& group_bins, std::vector<TileMask>& masks,
                  std::span<const ProjectedSplat> splats, std::size_t threads,
-                 RenderCounters& counters) {
+                 RenderCounters& counters, SortAlgo algo, SortScratch* scratch) {
   if (masks.size() != group_bins.splat_ids.size()) {
     throw std::invalid_argument("sort_groups: mask array size mismatch");
   }
   const std::size_t groups = static_cast<std::size_t>(group_bins.grid.cell_count());
 
-  constexpr std::size_t kMaxWorkers = 256;
-  std::vector<double> volume_per_worker(kMaxWorkers, 0.0);
-  std::vector<std::size_t> pairs_per_worker(kMaxWorkers, 0);
+  // Per-worker accumulator slots sized from the exact worker count so
+  // indices can never alias (the double merge order stays fixed).
+  const std::size_t workers = planned_worker_count(groups, threads);
+  SortScratch local_scratch;
+  SortScratch& s = scratch != nullptr ? *scratch : local_scratch;
+  s.prepare(workers);
+
+  // Compact the key's index half to its true width so the radix path runs
+  // the minimum number of passes (depth always needs its full 32 bits).
+  std::uint32_t max_index = 0;
+  for (const ProjectedSplat& splat : splats) max_index = std::max(max_index, splat.index);
+  const int key_bits = depth_index_key_bits(max_index);
+  const int index_bits = key_bits - 32;
 
   parallel_for_chunks(0, groups, [&](std::size_t lo, std::size_t hi, std::size_t worker) {
-    std::vector<std::pair<std::uint32_t, TileMask>> scratch;
-    double local_volume = 0.0;
-    std::size_t local_pairs = 0;
+    SortWorkerScratch& ws = s.workers[worker];
     for (std::size_t g = lo; g < hi; ++g) {
       const std::uint32_t begin = group_bins.offsets[g];
       const std::uint32_t end = group_bins.offsets[g + 1];
       const std::size_t n = end - begin;
-      local_pairs += n;
+      ws.pairs += n;
       if (n <= 1) continue;
-      scratch.clear();
-      scratch.reserve(n);
-      for (std::uint32_t e = begin; e < end; ++e) {
-        scratch.emplace_back(group_bins.splat_ids[e], masks[e]);
-      }
-      std::sort(scratch.begin(), scratch.end(), [&](const auto& a, const auto& b) {
-        const float da = splats[a.first].depth, db = splats[b.first].depth;
-        if (da != db) return da < db;
-        return splats[a.first].index < splats[b.first].index;
-      });
+
+      // Packed (depth_bits, index) keys order exactly as the old
+      // comparator. The value half carries the id (high 32) plus the
+      // entry's original position (low 32), which gathers the mask from
+      // the snapshot in ws.keys after the sort.
+      if (ws.items.size() < n) ws.items.resize(n);
+      if (ws.keys.size() < n) ws.keys.resize(n);
       for (std::size_t k = 0; k < n; ++k) {
-        group_bins.splat_ids[begin + k] = scratch[k].first;
-        masks[begin + k] = scratch[k].second;
+        const std::uint32_t id = group_bins.splat_ids[begin + k];
+        ws.items[k] = {pack_depth_index_key(splats[id].depth, splats[id].index, index_bits),
+                       (static_cast<std::uint64_t>(id) << 32) | k};
+        ws.keys[k] = masks[begin + k];
       }
-      local_volume += static_cast<double>(n) * std::log2(static_cast<double>(n));
+      if (use_radix_sort(algo, n)) {
+        radix_sort_pairs(ws.items, ws.items_tmp, n, key_bits);
+        ws.volume += static_cast<double>(n) * radix_pass_count(key_bits);
+      } else {
+        std::sort(ws.items.begin(), ws.items.begin() + static_cast<std::ptrdiff_t>(n),
+                  [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+        ws.volume += static_cast<double>(n) * std::log2(static_cast<double>(n));
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::uint64_t value = ws.items[k].value;
+        group_bins.splat_ids[begin + k] = static_cast<std::uint32_t>(value >> 32);
+        masks[begin + k] = ws.keys[static_cast<std::uint32_t>(value)];
+      }
     }
-    volume_per_worker[worker % kMaxWorkers] += local_volume;
-    pairs_per_worker[worker % kMaxWorkers] += local_pairs;
   }, threads);
 
-  for (std::size_t w = 0; w < kMaxWorkers; ++w) {
-    counters.sort_comparison_volume += volume_per_worker[w];
-    counters.sort_pairs += pairs_per_worker[w];
+  for (std::size_t w = 0; w < workers; ++w) {
+    counters.sort_comparison_volume += s.workers[w].volume;
+    counters.sort_pairs += s.workers[w].pairs;
   }
 }
 
 void rasterize_grouped(const GroupedFrame& frame, std::span<const ProjectedSplat> splats,
-                       Framebuffer& fb, std::size_t threads, RenderCounters& counters) {
+                       Framebuffer& fb, std::size_t threads, RenderCounters& counters,
+                       RasterScratch* scratch) {
   const CellGrid& tile_grid = frame.tile_grid;
   const CellGrid& group_grid = frame.group_grid;
   const int r = frame.config.tiles_per_side();
   const std::size_t tiles = static_cast<std::size_t>(tile_grid.cell_count());
 
-  constexpr std::size_t kMaxWorkers = 256;
+  // Per-worker reusable buffers sized from the exact worker count. The
+  // stats are plain integers, so they merge through atomics.
+  const std::size_t workers = planned_worker_count(tiles, threads);
+  RasterScratch local_scratch;
+  RasterScratch& rs = scratch != nullptr ? *scratch : local_scratch;
+  if (rs.workers.size() < workers) rs.workers.resize(workers);
+
   struct WorkerStats {
     TileRasterStats raster;
     std::size_t filter_checks = 0;
   };
-  std::vector<WorkerStats> per_worker(kMaxWorkers);
+  std::atomic<std::size_t> alpha{0}, blends{0}, exits{0}, list_work{0}, pixels{0}, checks{0};
 
   parallel_for_chunks(0, tiles, [&](std::size_t lo, std::size_t hi, std::size_t worker) {
     WorkerStats local;
-    std::vector<std::uint32_t> filtered;
+    RasterScratch::Worker& wk = rs.workers[worker];
+    std::vector<std::uint32_t>& filtered = wk.filtered;
     for (std::size_t t = lo; t < hi; ++t) {
       const int tx = static_cast<int>(t) % tile_grid.cells_x;
       const int ty = static_cast<int>(t) / tile_grid.cells_x;
@@ -170,30 +203,22 @@ void rasterize_grouped(const GroupedFrame& frame, std::span<const ProjectedSplat
       const int y0 = ty * tile_grid.cell_size;
       const int x1 = std::min(x0 + tile_grid.cell_size, tile_grid.image_width);
       const int y1 = std::min(y0 + tile_grid.cell_size, tile_grid.image_height);
-      const TileRasterStats s = rasterize_tile(splats, filtered, x0, y0, x1, y1, fb);
-      local.raster.alpha_computations += s.alpha_computations;
-      local.raster.blend_ops += s.blend_ops;
-      local.raster.early_exit_pixels += s.early_exit_pixels;
-      local.raster.pixel_list_work += s.pixel_list_work;
-      local.raster.pixels += s.pixels;
+      local.raster.accumulate(rasterize_tile(splats, filtered, x0, y0, x1, y1, fb, wk.tile));
     }
-    WorkerStats& slot = per_worker[worker % kMaxWorkers];
-    slot.raster.alpha_computations += local.raster.alpha_computations;
-    slot.raster.blend_ops += local.raster.blend_ops;
-    slot.raster.early_exit_pixels += local.raster.early_exit_pixels;
-    slot.raster.pixel_list_work += local.raster.pixel_list_work;
-    slot.raster.pixels += local.raster.pixels;
-    slot.filter_checks += local.filter_checks;
+    alpha.fetch_add(local.raster.alpha_computations, std::memory_order_relaxed);
+    blends.fetch_add(local.raster.blend_ops, std::memory_order_relaxed);
+    exits.fetch_add(local.raster.early_exit_pixels, std::memory_order_relaxed);
+    list_work.fetch_add(local.raster.pixel_list_work, std::memory_order_relaxed);
+    pixels.fetch_add(local.raster.pixels, std::memory_order_relaxed);
+    checks.fetch_add(local.filter_checks, std::memory_order_relaxed);
   }, threads);
 
-  for (const WorkerStats& s : per_worker) {
-    counters.alpha_computations += s.raster.alpha_computations;
-    counters.blend_ops += s.raster.blend_ops;
-    counters.early_exit_pixels += s.raster.early_exit_pixels;
-    counters.pixel_list_work += s.raster.pixel_list_work;
-    counters.total_pixels += s.raster.pixels;
-    counters.filter_checks += s.filter_checks;
-  }
+  counters.alpha_computations += alpha.load();
+  counters.blend_ops += blends.load();
+  counters.early_exit_pixels += exits.load();
+  counters.pixel_list_work += list_work.load();
+  counters.total_pixels += pixels.load();
+  counters.filter_checks += checks.load();
 }
 
 }  // namespace gstg

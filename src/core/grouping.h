@@ -11,6 +11,8 @@
 #include "core/gstg_config.h"
 #include "render/binning.h"
 #include "render/framebuffer.h"
+#include "render/rasterize.h"
+#include "render/sort_keys.h"
 #include "render/types.h"
 
 namespace gstg {
@@ -43,19 +45,41 @@ std::vector<TileMask> generate_bitmasks(std::span<const ProjectedSplat> splats,
                                         const CellGrid& tile_grid, const GsTgConfig& config,
                                         RenderCounters& counters);
 
+/// generate_bitmasks() into a caller-owned mask vector (resized in place).
+void generate_bitmasks_into(std::span<const ProjectedSplat> splats,
+                            const BinnedSplats& group_bins, const CellGrid& tile_grid,
+                            const GsTgConfig& config, RenderCounters& counters,
+                            std::vector<TileMask>& masks);
+
 /// Group-wise sorting: orders each group's (splat, mask) entries by
 /// (depth, index). A filtered subsequence is then automatically in the same
-/// order as the baseline's per-tile sorted list.
+/// order as the baseline's per-tile sorted list. `algo` selects comparison
+/// or packed-key radix sorting per group (identical orderings; see
+/// render/sort_keys.h) and `scratch` reuses one SortScratch across frames
+/// (nullptr = self-contained call).
 void sort_groups(BinnedSplats& group_bins, std::vector<TileMask>& masks,
                  std::span<const ProjectedSplat> splats, std::size_t threads,
-                 RenderCounters& counters);
+                 RenderCounters& counters, SortAlgo algo = SortAlgo::kAuto,
+                 SortScratch* scratch = nullptr);
+
+/// Reusable per-worker rasterization buffers for rasterize_grouped: the
+/// bitmask-filtered id list and the tile blending scratch.
+struct RasterScratch {
+  struct Worker {
+    std::vector<std::uint32_t> filtered;
+    TileRasterScratch tile;
+  };
+  std::vector<Worker> workers;
+};
 
 /// Tile-wise rasterization over group-sorted lists: per tile, gathers the
 /// entries whose bitmask covers the tile (the RM's AND-filter) and runs the
 /// shared tile rasterizer. Updates counters.filter_checks plus the usual
-/// rasterization counters.
+/// rasterization counters. `scratch` reuses per-worker buffers across
+/// frames (nullptr = self-contained call).
 void rasterize_grouped(const GroupedFrame& frame, std::span<const ProjectedSplat> splats,
-                       Framebuffer& fb, std::size_t threads, RenderCounters& counters);
+                       Framebuffer& fb, std::size_t threads, RenderCounters& counters,
+                       RasterScratch* scratch = nullptr);
 
 /// Local-tile bit index inside a group (row-major over the group's tiles).
 constexpr int mask_bit_index(int local_tx, int local_ty, int tiles_per_side) {

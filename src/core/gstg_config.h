@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "geometry/intersect.h"
+#include "render/sort_keys.h"
+#include "render/types.h"
 
 namespace gstg {
 
@@ -23,7 +25,24 @@ struct GsTgConfig {
   Boundary mask_boundary = Boundary::kEllipse;
   /// Opacity-aware footprint extent (FlashGS-style) instead of 3-sigma.
   bool opacity_aware_rho = false;
+  /// Group-sort algorithm: packed-key radix, comparison sort, or kAuto
+  /// (radix above the cutoff). All choices order identically.
+  SortAlgo sort_algo = SortAlgo::kAuto;
   std::size_t threads = 0;  ///< 0 = auto
+
+  /// The RenderConfig this GS-TG config implies for the stages shared with
+  /// the baseline pipeline (preprocessing, per-tile sorting in comparison
+  /// runs). The single mapping keeps the one-shot and persistent renderers
+  /// from drifting apart.
+  [[nodiscard]] RenderConfig render_config() const {
+    RenderConfig rc;
+    rc.tile_size = tile_size;
+    rc.boundary = mask_boundary;
+    rc.opacity_aware_rho = opacity_aware_rho;
+    rc.sort_algo = sort_algo;
+    rc.threads = threads;
+    return rc;
+  }
 
   /// Tiles per group side; group_size must be a positive multiple of
   /// tile_size so small tiles align perfectly inside groups (paper Fig. 8b —

@@ -1,68 +1,35 @@
 #include "core/pipeline.h"
 
 #include "common/timer.h"
+#include "core/renderer.h"
 #include "render/preprocess.h"
 
 namespace gstg {
 
-namespace {
-
-RenderConfig to_render_config(const GsTgConfig& config) {
-  RenderConfig rc;
-  rc.tile_size = config.tile_size;
-  rc.boundary = config.mask_boundary;
-  rc.opacity_aware_rho = config.opacity_aware_rho;
-  rc.threads = config.threads;
-  return rc;
-}
-
-}  // namespace
-
 RenderResult render_gstg(const GaussianCloud& cloud, const Camera& camera,
                          const GsTgConfig& config) {
-  config.validate();
-  RenderResult result{Framebuffer(camera.width(), camera.height()), {}, {}};
-  Timer timer;
-
-  // Preprocessing: features + culling + group identification.
-  const RenderConfig rc = to_render_config(config);
-  const std::vector<ProjectedSplat> splats = preprocess(cloud, camera, rc, result.counters);
-  GroupedFrame frame;
-  frame.config = config;
-  frame.tile_grid = CellGrid::over_image(camera.width(), camera.height(), config.tile_size);
-  frame.group_grid = CellGrid::over_image(camera.width(), camera.height(), config.group_size);
-  frame.group_bins = identify_groups(splats, frame.group_grid, config, result.counters);
-  result.times.preprocess_ms = timer.lap_ms();
-
-  // Bitmask generation (sequential here; overlapped with sorting in HW).
-  frame.masks =
-      generate_bitmasks(splats, frame.group_bins, frame.tile_grid, config, result.counters);
-  result.times.bitmask_ms = timer.lap_ms();
-
-  // Group-wise sorting.
-  sort_groups(frame.group_bins, frame.masks, splats, config.threads, result.counters);
-  result.times.sort_ms = timer.lap_ms();
-
-  // Tile-wise rasterization with bitmask filtering.
-  rasterize_grouped(frame, splats, result.image, config.threads, result.counters);
-  result.times.raster_ms = timer.lap_ms();
-
-  return result;
+  // One-shot form of the persistent renderer (core/renderer.h): a fresh
+  // FrameContext per call, so the two paths are the same code and stay
+  // bit-identical by construction.
+  const Renderer renderer(config);
+  FrameContext ctx;
+  renderer.render(cloud, camera, ctx);
+  return RenderResult{std::move(ctx.image), ctx.times, ctx.counters};
 }
 
 GsTgFrameData build_gstg_frame(const GaussianCloud& cloud, const Camera& camera,
                                const GsTgConfig& config) {
   config.validate();
   GsTgFrameData data;
-  const RenderConfig rc = to_render_config(config);
-  data.splats = preprocess(cloud, camera, rc, data.counters);
+  data.splats = preprocess(cloud, camera, config.render_config(), data.counters);
   data.frame.config = config;
   data.frame.tile_grid = CellGrid::over_image(camera.width(), camera.height(), config.tile_size);
   data.frame.group_grid = CellGrid::over_image(camera.width(), camera.height(), config.group_size);
   data.frame.group_bins = identify_groups(data.splats, data.frame.group_grid, config, data.counters);
   data.frame.masks = generate_bitmasks(data.splats, data.frame.group_bins, data.frame.tile_grid,
                                        config, data.counters);
-  sort_groups(data.frame.group_bins, data.frame.masks, data.splats, config.threads, data.counters);
+  sort_groups(data.frame.group_bins, data.frame.masks, data.splats, config.threads, data.counters,
+              config.sort_algo);
   return data;
 }
 

@@ -36,11 +36,21 @@ TileRange candidate_cells(const ProjectedSplat& splat, const CellGrid& grid) {
 BinnedSplats bin_splats(std::span<const ProjectedSplat> splats, const CellGrid& grid,
                         Boundary boundary, std::size_t threads, RenderCounters& counters) {
   BinnedSplats out;
+  BinningScratch scratch;
+  bin_splats_into(splats, grid, boundary, threads, counters, out, scratch);
+  return out;
+}
+
+void bin_splats_into(std::span<const ProjectedSplat> splats, const CellGrid& grid,
+                     Boundary boundary, std::size_t threads, RenderCounters& counters,
+                     BinnedSplats& out, BinningScratch& scratch) {
   out.grid = grid;
   const std::size_t cells = static_cast<std::size_t>(grid.cell_count());
 
-  // Pass 1: per-cell counts (and counter updates) via atomics.
-  std::vector<std::atomic<std::uint32_t>> cell_counts(cells);
+  // Pass 1: per-cell counts (and counter updates). The reusable plain-int
+  // scratch array is raced on through std::atomic_ref.
+  std::vector<std::uint32_t>& cell_counts = scratch.cell_counts;
+  cell_counts.assign(cells, 0);
   std::atomic<std::size_t> tests{0}, pairs{0}, multi{0};
 
   parallel_for_chunks(0, splats.size(), [&](std::size_t lo, std::size_t hi, std::size_t) {
@@ -48,7 +58,8 @@ BinnedSplats bin_splats(std::span<const ProjectedSplat> splats, const CellGrid& 
     for (std::size_t i = lo; i < hi; ++i) {
       std::size_t hits = 0;
       local_tests += for_each_hit_cell(splats[i], grid, boundary, [&](int cell) {
-        cell_counts[static_cast<std::size_t>(cell)].fetch_add(1, std::memory_order_relaxed);
+        std::atomic_ref<std::uint32_t>(cell_counts[static_cast<std::size_t>(cell)])
+            .fetch_add(1, std::memory_order_relaxed);
         ++hits;
       });
       local_pairs += hits;
@@ -63,33 +74,30 @@ BinnedSplats bin_splats(std::span<const ProjectedSplat> splats, const CellGrid& 
   counters.tile_pairs += pairs.load();
   counters.splats_multi_tile += multi.load();
 
-  // Prefix sum into CSR offsets.
+  // Prefix sum into CSR offsets; the count array then becomes the scatter
+  // cursors (initialised to each cell's base offset).
   out.offsets.resize(cells + 1);
   std::uint32_t running = 0;
   for (std::size_t c = 0; c < cells; ++c) {
     out.offsets[c] = running;
-    running += cell_counts[c].load(std::memory_order_relaxed);
+    running += cell_counts[c];
+    cell_counts[c] = out.offsets[c];
   }
   out.offsets[cells] = running;
   out.splat_ids.resize(running);
 
   // Pass 2: scatter. Within-cell order is nondeterministic here, but every
   // consumer sorts by (depth, index) first, so results are deterministic.
-  std::vector<std::atomic<std::uint32_t>> cursors(cells);
-  for (std::size_t c = 0; c < cells; ++c) {
-    cursors[c].store(out.offsets[c], std::memory_order_relaxed);
-  }
   parallel_for_chunks(0, splats.size(), [&](std::size_t lo, std::size_t hi, std::size_t) {
     for (std::size_t i = lo; i < hi; ++i) {
       for_each_hit_cell(splats[i], grid, boundary, [&](int cell) {
         const std::uint32_t slot =
-            cursors[static_cast<std::size_t>(cell)].fetch_add(1, std::memory_order_relaxed);
+            std::atomic_ref<std::uint32_t>(cell_counts[static_cast<std::size_t>(cell)])
+                .fetch_add(1, std::memory_order_relaxed);
         out.splat_ids[slot] = static_cast<std::uint32_t>(i);
       });
     }
   }, threads);
-
-  return out;
 }
 
 }  // namespace gstg

@@ -41,6 +41,13 @@ struct BinnedSplats {
   }
 };
 
+/// Reusable binning scratch: the per-cell counter array that doubles as the
+/// scatter cursors (accessed through std::atomic_ref inside bin_splats).
+/// Owned by the persistent renderer's FrameContext.
+struct BinningScratch {
+  std::vector<std::uint32_t> cell_counts;
+};
+
 /// Bins splats into grid cells. Candidate cells come from the footprint's
 /// axis-aligned bounding box; OBB/Ellipse refine each candidate (the
 /// GSCore/FlashGS strategy), so tiles(Ellipse) ⊆ tiles(OBB) ⊆ tiles(AABB)
@@ -48,6 +55,13 @@ struct BinnedSplats {
 /// splats_multi_tile in `counters`.
 BinnedSplats bin_splats(std::span<const ProjectedSplat> splats, const CellGrid& grid,
                         Boundary boundary, std::size_t threads, RenderCounters& counters);
+
+/// bin_splats() into caller-owned CSR storage, reusing `scratch`. `out`'s
+/// vectors are resized in place; in the steady state (same grid, same pair
+/// count) no allocation happens.
+void bin_splats_into(std::span<const ProjectedSplat> splats, const CellGrid& grid,
+                     Boundary boundary, std::size_t threads, RenderCounters& counters,
+                     BinnedSplats& out, BinningScratch& scratch);
 
 /// Cell range of the footprint's AABB clipped to the grid (exposed for the
 /// bitmask generator, which iterates the same candidates inside a group).

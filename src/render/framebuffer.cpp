@@ -15,6 +15,15 @@ Framebuffer::Framebuffer(int width, int height) : width_(width), height_(height)
   pixels_.assign(static_cast<std::size_t>(width) * height, Vec3{});
 }
 
+void Framebuffer::resize(int width, int height) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("Framebuffer: non-positive size");
+  }
+  width_ = width;
+  height_ = height;
+  pixels_.resize(static_cast<std::size_t>(width) * height);
+}
+
 void Framebuffer::write_ppm(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("Framebuffer: cannot open " + path);

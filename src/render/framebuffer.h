@@ -16,6 +16,12 @@ class Framebuffer {
   [[nodiscard]] int width() const { return width_; }
   [[nodiscard]] int height() const { return height_; }
 
+  /// Retargets the framebuffer to a new size, reusing the pixel storage
+  /// when capacity allows (pixel contents are unspecified afterwards; every
+  /// render pass overwrites all pixels). Used by the persistent renderer's
+  /// FrameContext across cameras of different resolutions.
+  void resize(int width, int height);
+
   [[nodiscard]] Vec3& at(int x, int y) { return pixels_[static_cast<std::size_t>(y) * width_ + x]; }
   [[nodiscard]] const Vec3& at(int x, int y) const {
     return pixels_[static_cast<std::size_t>(y) * width_ + x];

@@ -1,17 +1,16 @@
 #include "render/global_sort.h"
 
-#include <array>
-#include <bit>
+#include <atomic>
 
 #include "common/parallel.h"
+#include "render/sort_keys.h"
 
 namespace gstg {
 
 std::uint64_t make_depth_key(std::uint32_t cell, float depth) {
   // Positive IEEE floats order identically to their bit patterns, and
   // depths are positive after near-plane culling.
-  const auto depth_bits = std::bit_cast<std::uint32_t>(depth);
-  return (static_cast<std::uint64_t>(cell) << 32) | depth_bits;
+  return (static_cast<std::uint64_t>(cell) << 32) | depth_bits(depth);
 }
 
 BinnedSplats global_sorted_binning(std::span<const ProjectedSplat> splats, const CellGrid& grid,
@@ -24,18 +23,17 @@ BinnedSplats global_sorted_binning(std::span<const ProjectedSplat> splats, const
   // global pair order identical to a serial emit: splat-major, candidate
   // order within a splat).
   std::vector<std::uint32_t> hit_counts(n, 0);
-  constexpr std::size_t kMaxWorkers = 256;
-  std::vector<std::size_t> tests_per_worker(kMaxWorkers, 0);
-  parallel_for_chunks(0, n, [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+  std::atomic<std::size_t> tests{0};
+  parallel_for_chunks(0, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
     std::size_t local_tests = 0;
     for (std::size_t i = lo; i < hi; ++i) {
       std::uint32_t hits = 0;
       local_tests += for_each_hit_cell(splats[i], grid, boundary, [&](int) { ++hits; });
       hit_counts[i] = hits;
     }
-    tests_per_worker[worker % kMaxWorkers] += local_tests;
+    tests.fetch_add(local_tests, std::memory_order_relaxed);
   }, threads);
-  for (const std::size_t t : tests_per_worker) counters.boundary_tests += t;
+  counters.boundary_tests += tests.load();
 
   std::vector<std::uint64_t> emit_offsets(n + 1, 0);
   std::size_t multi = 0;
@@ -48,61 +46,43 @@ BinnedSplats global_sorted_binning(std::span<const ProjectedSplat> splats, const
   counters.splats_multi_tile += multi;
   counters.sort_pairs += pairs;
 
-  // Pass 2: emit duplicated keys + ids at the precomputed offsets.
-  std::vector<std::uint64_t> keys(pairs);
-  std::vector<std::uint32_t> ids(pairs);
+  // Pass 2: emit duplicated key/id records at the precomputed offsets.
+  std::vector<KeyValue> items(pairs);
   parallel_for_chunks(0, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
     for (std::size_t i = lo; i < hi; ++i) {
       std::uint64_t slot = emit_offsets[i];
       for_each_hit_cell(splats[i], grid, boundary, [&](int cell) {
-        keys[slot] = make_depth_key(static_cast<std::uint32_t>(cell), splats[i].depth);
-        ids[slot] = static_cast<std::uint32_t>(i);
+        items[slot] = {make_depth_key(static_cast<std::uint32_t>(cell), splats[i].depth),
+                       static_cast<std::uint64_t>(i)};
         ++slot;
       });
     }
   }, threads);
 
-  // Global stable LSD radix sort over the 64-bit keys, 8-bit digits. Only
-  // digits that can be non-zero are processed: 32 depth bits plus however
-  // many bits the cell index needs.
+  // One global stable LSD radix sort (render/sort_keys.h) over the 64-bit
+  // keys. Only digits that can be non-zero are processed: 32 depth bits plus
+  // however many bits the cell index needs.
   int cell_bits = 0;
   while ((1u << cell_bits) < cells && cell_bits < 32) ++cell_bits;
   const int total_bits = 32 + std::max(cell_bits, 1);
-  const int passes = (total_bits + 7) / 8;
-  counters.sort_comparison_volume += static_cast<double>(pairs) * passes;
+  counters.sort_comparison_volume +=
+      static_cast<double>(pairs) * radix_pass_count(total_bits);
 
-  std::vector<std::uint64_t> keys_tmp(pairs);
-  std::vector<std::uint32_t> ids_tmp(pairs);
-  for (int pass = 0; pass < passes; ++pass) {
-    const int shift = pass * 8;
-    std::array<std::size_t, 256> histogram{};
-    for (std::size_t k = 0; k < pairs; ++k) {
-      ++histogram[(keys[k] >> shift) & 0xffu];
-    }
-    std::size_t running = 0;
-    for (std::size_t d = 0; d < 256; ++d) {
-      const std::size_t count = histogram[d];
-      histogram[d] = running;
-      running += count;
-    }
-    for (std::size_t k = 0; k < pairs; ++k) {
-      const std::size_t dst = histogram[(keys[k] >> shift) & 0xffu]++;
-      keys_tmp[dst] = keys[k];
-      ids_tmp[dst] = ids[k];
-    }
-    keys.swap(keys_tmp);
-    ids.swap(ids_tmp);
-  }
+  std::vector<KeyValue> items_tmp;
+  radix_sort_pairs(items, items_tmp, pairs, total_bits);
 
   // Slice the sorted pair array into per-cell CSR ranges.
   BinnedSplats out;
   out.grid = grid;
   out.offsets.assign(cells + 1, 0);
   for (std::size_t k = 0; k < pairs; ++k) {
-    ++out.offsets[(keys[k] >> 32) + 1];
+    ++out.offsets[(items[k].key >> 32) + 1];
   }
   for (std::size_t c = 0; c < cells; ++c) out.offsets[c + 1] += out.offsets[c];
-  out.splat_ids = std::move(ids);
+  out.splat_ids.resize(pairs);
+  for (std::size_t k = 0; k < pairs; ++k) {
+    out.splat_ids[k] = static_cast<std::uint32_t>(items[k].value);
+  }
   return out;
 }
 

@@ -23,7 +23,7 @@ RenderResult render_baseline(const GaussianCloud& cloud, const Camera& camera,
   result.times.preprocess_ms = timer.lap_ms();
 
   // Tile-wise sorting.
-  sort_cell_lists(bins, splats, config.threads, result.counters);
+  sort_cell_lists(bins, splats, config.threads, result.counters, config.sort_algo);
   result.times.sort_ms = timer.lap_ms();
 
   // Tile-wise rasterization.

@@ -11,12 +11,24 @@ namespace gstg {
 
 std::vector<ProjectedSplat> preprocess(const GaussianCloud& cloud, const Camera& camera,
                                        const RenderConfig& config, RenderCounters& counters) {
+  std::vector<ProjectedSplat> out;
+  PreprocessScratch scratch;
+  preprocess_into(cloud, camera, config, counters, out, scratch);
+  return out;
+}
+
+void preprocess_into(const GaussianCloud& cloud, const Camera& camera,
+                     const RenderConfig& config, RenderCounters& counters,
+                     std::vector<ProjectedSplat>& out, PreprocessScratch& scratch) {
   const std::size_t n = cloud.size();
   counters.input_gaussians += n;
 
-  // Slot-per-input so workers never contend; compacted afterwards.
-  std::vector<ProjectedSplat> slots(n);
-  std::vector<std::uint8_t> keep(n, 0);
+  // Slot-per-input so workers never contend; compacted afterwards. The
+  // scratch buffers keep their capacity across frames.
+  std::vector<ProjectedSplat>& slots = scratch.slots;
+  if (slots.size() < n) slots.resize(n);
+  std::vector<std::uint8_t>& keep = scratch.keep;
+  keep.assign(n, 0);
   const Vec3 cam_pos = camera.position();
 
   parallel_for_chunks(0, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
@@ -45,13 +57,12 @@ std::vector<ProjectedSplat> preprocess(const GaussianCloud& cloud, const Camera&
     }
   }, config.threads);
 
-  std::vector<ProjectedSplat> out;
+  out.clear();
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     if (keep[i]) out.push_back(slots[i]);
   }
   counters.visible_gaussians += out.size();
-  return out;
 }
 
 }  // namespace gstg

@@ -11,6 +11,14 @@
 
 namespace gstg {
 
+/// Reusable preprocessing buffers: one projection slot per input Gaussian
+/// plus the survivor flags. Owned by the persistent renderer's FrameContext
+/// so the steady state allocates nothing.
+struct PreprocessScratch {
+  std::vector<ProjectedSplat> slots;
+  std::vector<std::uint8_t> keep;
+};
+
 /// Projects and culls the cloud for `camera`:
 ///  - frustum-culls by view-space centre (near plane + guard band),
 ///  - computes depth, 2D mean, EWA 2D covariance (+0.3 dilation), conic,
@@ -22,5 +30,12 @@ namespace gstg {
 /// `counters.visible_gaussians`.
 std::vector<ProjectedSplat> preprocess(const GaussianCloud& cloud, const Camera& camera,
                                        const RenderConfig& config, RenderCounters& counters);
+
+/// preprocess() into a caller-owned survivor vector, reusing `scratch`.
+/// `out` is cleared first; its capacity (and the scratch buffers) persist
+/// across calls.
+void preprocess_into(const GaussianCloud& cloud, const Camera& camera,
+                     const RenderConfig& config, RenderCounters& counters,
+                     std::vector<ProjectedSplat>& out, PreprocessScratch& scratch);
 
 }  // namespace gstg

@@ -1,5 +1,6 @@
 #include "render/rasterize.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -11,6 +12,13 @@ namespace gstg {
 TileRasterStats rasterize_tile(std::span<const ProjectedSplat> splats,
                                std::span<const std::uint32_t> order, int x0, int y0, int x1,
                                int y1, Framebuffer& fb) {
+  TileRasterScratch scratch;
+  return rasterize_tile(splats, order, x0, y0, x1, y1, fb, scratch);
+}
+
+TileRasterStats rasterize_tile(std::span<const ProjectedSplat> splats,
+                               std::span<const std::uint32_t> order, int x0, int y0, int x1,
+                               int y1, Framebuffer& fb, TileRasterScratch& scratch) {
   if (x0 < 0 || y0 < 0 || x1 > fb.width() || y1 > fb.height() || x1 <= x0 || y1 <= y0) {
     throw std::invalid_argument("rasterize_tile: block out of bounds");
   }
@@ -25,10 +33,13 @@ TileRasterStats rasterize_tile(std::span<const ProjectedSplat> splats,
   stats.pixel_list_work = order.size() * npx;
 
   // Active-pixel compaction: transmittance, accumulated colour, and the
-  // surviving pixel index list.
-  std::vector<float> transmittance(npx, 1.0f);
-  std::vector<Vec3> accum(npx, Vec3{});
-  std::vector<std::uint32_t> active(npx);
+  // surviving pixel index list (reused across tiles via `scratch`).
+  std::vector<float>& transmittance = scratch.transmittance;
+  std::vector<Vec3>& accum = scratch.accum;
+  std::vector<std::uint32_t>& active = scratch.active;
+  transmittance.assign(npx, 1.0f);
+  accum.assign(npx, Vec3{});
+  if (active.size() < npx) active.resize(npx);
   for (std::size_t i = 0; i < npx; ++i) active[i] = static_cast<std::uint32_t>(i);
   std::size_t active_count = npx;
 
@@ -81,11 +92,14 @@ void rasterize_all(const BinnedSplats& bins, std::span<const ProjectedSplat> spl
   const CellGrid& grid = bins.grid;
   const std::size_t cells = static_cast<std::size_t>(grid.cell_count());
 
-  constexpr std::size_t kMaxWorkers = 256;
-  std::vector<TileRasterStats> per_worker(kMaxWorkers);
+  // Per-worker stat slots sized from the exact worker count (no aliasing),
+  // merged in worker order after the join.
+  const std::size_t workers = planned_worker_count(cells, threads);
+  std::vector<TileRasterStats> per_worker(workers);
 
   parallel_for_chunks(0, cells, [&](std::size_t lo, std::size_t hi, std::size_t worker) {
     TileRasterStats local;
+    TileRasterScratch scratch;
     for (std::size_t c = lo; c < hi; ++c) {
       const int cx = static_cast<int>(c) % grid.cells_x;
       const int cy = static_cast<int>(c) / grid.cells_x;
@@ -93,20 +107,10 @@ void rasterize_all(const BinnedSplats& bins, std::span<const ProjectedSplat> spl
       const int y0 = cy * grid.cell_size;
       const int x1 = std::min(x0 + grid.cell_size, grid.image_width);
       const int y1 = std::min(y0 + grid.cell_size, grid.image_height);
-      const TileRasterStats s =
-          rasterize_tile(splats, bins.cell_list(static_cast<int>(c)), x0, y0, x1, y1, fb);
-      local.alpha_computations += s.alpha_computations;
-      local.blend_ops += s.blend_ops;
-      local.early_exit_pixels += s.early_exit_pixels;
-      local.pixel_list_work += s.pixel_list_work;
-      local.pixels += s.pixels;
+      local.accumulate(rasterize_tile(splats, bins.cell_list(static_cast<int>(c)), x0, y0, x1,
+                                      y1, fb, scratch));
     }
-    TileRasterStats& slot = per_worker[worker % kMaxWorkers];
-    slot.alpha_computations += local.alpha_computations;
-    slot.blend_ops += local.blend_ops;
-    slot.early_exit_pixels += local.early_exit_pixels;
-    slot.pixel_list_work += local.pixel_list_work;
-    slot.pixels += local.pixels;
+    per_worker[worker].accumulate(local);
   }, threads);
 
   for (const TileRasterStats& s : per_worker) {

@@ -20,6 +20,22 @@ struct TileRasterStats {
   std::size_t early_exit_pixels = 0;
   std::size_t pixel_list_work = 0;
   std::size_t pixels = 0;
+
+  void accumulate(const TileRasterStats& s) {
+    alpha_computations += s.alpha_computations;
+    blend_ops += s.blend_ops;
+    early_exit_pixels += s.early_exit_pixels;
+    pixel_list_work += s.pixel_list_work;
+    pixels += s.pixels;
+  }
+};
+
+/// Reusable per-worker blending buffers (transmittance, colour accumulator,
+/// active-pixel list), sized to the largest tile seen so far.
+struct TileRasterScratch {
+  std::vector<float> transmittance;
+  std::vector<Vec3> accum;
+  std::vector<std::uint32_t> active;
 };
 
 /// Rasterizes the depth-ordered splat sequence `order` into the pixel block
@@ -28,6 +44,12 @@ struct TileRasterStats {
 TileRasterStats rasterize_tile(std::span<const ProjectedSplat> splats,
                                std::span<const std::uint32_t> order, int x0, int y0, int x1,
                                int y1, Framebuffer& fb);
+
+/// rasterize_tile() with caller-owned blending buffers (no allocations once
+/// the scratch has warmed up to the tile size).
+TileRasterStats rasterize_tile(std::span<const ProjectedSplat> splats,
+                               std::span<const std::uint32_t> order, int x0, int y0, int x1,
+                               int y1, Framebuffer& fb, TileRasterScratch& scratch);
 
 /// Baseline full-image rasterization over per-tile sorted lists.
 void rasterize_all(const BinnedSplats& bins, std::span<const ProjectedSplat> splats,

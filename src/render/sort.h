@@ -6,14 +6,19 @@
 #include <span>
 
 #include "render/binning.h"
+#include "render/sort_keys.h"
 #include "render/types.h"
 
 namespace gstg {
 
 /// Sorts each cell list of `bins` in place by (depth, original index)
 /// ascending — the index tiebreak makes the order total and deterministic.
-/// Accumulates sort_pairs and sort_comparison_volume into `counters`.
+/// `algo` selects comparison or packed-key radix sorting per list (identical
+/// orderings; see render/sort_keys.h). `scratch` reuses one SortScratch
+/// across frames; pass nullptr for a self-contained call. Accumulates
+/// sort_pairs and sort_comparison_volume into `counters`.
 void sort_cell_lists(BinnedSplats& bins, std::span<const ProjectedSplat> splats,
-                     std::size_t threads, RenderCounters& counters);
+                     std::size_t threads, RenderCounters& counters,
+                     SortAlgo algo = SortAlgo::kAuto, SortScratch* scratch = nullptr);
 
 }  // namespace gstg

@@ -11,6 +11,7 @@
 #include "geometry/intersect.h"
 #include "geometry/sym2.h"
 #include "geometry/vec.h"
+#include "render/sort_keys.h"
 
 namespace gstg {
 
@@ -26,6 +27,9 @@ struct RenderConfig {
   /// When true, each splat's extent rho is 2 ln(255 sigma) instead of the
   /// 3-sigma rule — the opacity-aware bound FlashGS introduced.
   bool opacity_aware_rho = false;
+  /// Per-tile sort algorithm (kAuto = radix for long lists, comparison for
+  /// short ones; every choice produces the identical ordering).
+  SortAlgo sort_algo = SortAlgo::kAuto;
   /// Worker threads (0 = auto).
   std::size_t threads = 0;
 };
@@ -74,7 +78,11 @@ struct RenderCounters {
   std::size_t tile_pairs = 0;          ///< Σ over splats of intersected tiles
   std::size_t splats_multi_tile = 0;   ///< visible splats hitting >= 2 tiles
   std::size_t sort_pairs = 0;          ///< total entries across per-tile/group sort lists
-  double sort_comparison_volume = 0;   ///< Σ n_i * log2(n_i): comparison-count proxy
+  /// Sorting-work proxy: comparison sorts account a list of n entries as
+  /// n * log2(n); radix paths (per-list or global) account n * passes with
+  /// 8-bit digits. Well-defined for either algorithm so the paper's
+  /// workload-reduction ratios compare like against like.
+  double sort_comparison_volume = 0;
   std::size_t alpha_computations = 0;  ///< alpha evaluated (pixel, splat) pairs
   std::size_t blend_ops = 0;           ///< alpha >= 1/255 blends
   std::size_t early_exit_pixels = 0;   ///< pixels that hit the transmittance exit

@@ -67,7 +67,7 @@ FrameWorkload build_gscore_workload(const GaussianCloud& cloud, const Camera& ca
   const std::vector<ProjectedSplat> splats = preprocess(cloud, camera, config, counters);
   const CellGrid grid = CellGrid::over_image(camera.width(), camera.height(), tile_size);
   BinnedSplats bins = bin_splats(splats, grid, config.boundary, config.threads, counters);
-  sort_cell_lists(bins, splats, config.threads, counters);
+  sort_cell_lists(bins, splats, config.threads, counters, config.sort_algo);
 
   w.input_gaussians = counters.input_gaussians;
   w.visible_gaussians = counters.visible_gaussians;

@@ -126,7 +126,7 @@ FrameWorkload build_tile_sorted_workload(const GaussianCloud& cloud, const Camer
   const std::vector<ProjectedSplat> splats = preprocess(cloud, camera, config, counters);
   const CellGrid grid = CellGrid::over_image(camera.width(), camera.height(), config.tile_size);
   BinnedSplats bins = bin_splats(splats, grid, config.boundary, config.threads, counters);
-  sort_cell_lists(bins, splats, config.threads, counters);
+  sort_cell_lists(bins, splats, config.threads, counters, config.sort_algo);
 
   w.input_gaussians = counters.input_gaussians;
   w.visible_gaussians = counters.visible_gaussians;

@@ -1,0 +1,198 @@
+// Persistent renderer (core/renderer.h): FrameContext reuse is bit-identical
+// and allocation-free in the steady state, render_batch matches N independent
+// render_gstg calls exactly, and the group radix sort is interchangeable
+// with the comparison sort.
+#include "core/renderer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/pipeline.h"
+#include "scene/scene.h"
+#include "test_helpers.h"
+
+// --- Global allocation counter -------------------------------------------
+// Counts every operator new in this binary; the steady-state test asserts
+// the delta across a warmed-up render is zero. Kept trivially simple (malloc
+// pass-through) so it composes with sanitizers.
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace gstg {
+namespace {
+
+using testutil::make_camera;
+using testutil::make_random_cloud;
+
+bool images_identical(const Framebuffer& a, const Framebuffer& b) {
+  return a.width() == b.width() && a.height() == b.height() && max_abs_diff(a, b) == 0.0f;
+}
+
+bool counters_equal(const RenderCounters& a, const RenderCounters& b) {
+  return a.visible_gaussians == b.visible_gaussians && a.tile_pairs == b.tile_pairs &&
+         a.sort_pairs == b.sort_pairs && a.bitmask_tests == b.bitmask_tests &&
+         a.filter_checks == b.filter_checks && a.alpha_computations == b.alpha_computations &&
+         a.blend_ops == b.blend_ops && a.total_pixels == b.total_pixels;
+}
+
+TEST(Renderer, MatchesRenderGstg) {
+  const GaussianCloud cloud = make_random_cloud(600, 42);
+  const Camera camera = make_camera();
+  GsTgConfig config;
+  config.threads = 1;
+
+  const RenderResult oneshot = render_gstg(cloud, camera, config);
+
+  const Renderer renderer(config);
+  FrameContext ctx;
+  renderer.render(cloud, camera, ctx);
+
+  EXPECT_TRUE(images_identical(oneshot.image, ctx.image));
+  EXPECT_TRUE(counters_equal(oneshot.counters, ctx.counters));
+}
+
+TEST(Renderer, ContextReuseIsBitIdentical) {
+  const GaussianCloud cloud = make_random_cloud(800, 7);
+  const Camera camera = make_camera(192, 128);
+  GsTgConfig config;
+  config.threads = 2;
+
+  const Renderer renderer(config);
+  FrameContext fresh;
+  renderer.render(cloud, camera, fresh);
+  const Framebuffer reference = fresh.image;
+  const RenderCounters ref_counters = fresh.counters;
+
+  FrameContext reused;
+  for (int round = 0; round < 3; ++round) {
+    renderer.render(cloud, camera, reused);
+    EXPECT_TRUE(images_identical(reference, reused.image)) << "round " << round;
+    EXPECT_TRUE(counters_equal(ref_counters, reused.counters)) << "round " << round;
+  }
+}
+
+TEST(Renderer, ContextReuseAcrossCamerasMatchesFreshContexts) {
+  const GaussianCloud cloud = make_random_cloud(500, 3);
+  GsTgConfig config;
+  config.threads = 1;
+  const Renderer renderer(config);
+
+  // Different resolutions force the context to regrow between frames.
+  const Camera cameras[] = {make_camera(256, 192), make_camera(96, 64), make_camera(160, 160)};
+
+  FrameContext reused;
+  for (const Camera& camera : cameras) {
+    FrameContext fresh;
+    renderer.render(cloud, camera, fresh);
+    renderer.render(cloud, camera, reused);
+    EXPECT_TRUE(images_identical(fresh.image, reused.image));
+    EXPECT_TRUE(counters_equal(fresh.counters, reused.counters));
+  }
+}
+
+TEST(Renderer, SteadyStateAllocatesNothing) {
+  const GaussianCloud cloud = make_random_cloud(700, 99);
+  const Camera camera = make_camera();
+  GsTgConfig config;
+  config.threads = 1;  // worker threads would allocate their own state
+  const Renderer renderer(config);
+
+  FrameContext ctx;
+  renderer.render(cloud, camera, ctx);  // warm-up: grow every buffer
+  renderer.render(cloud, camera, ctx);
+
+  const std::size_t before = g_alloc_count.load();
+  renderer.render(cloud, camera, ctx);
+  const std::size_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u) << "steady-state render allocated";
+}
+
+TEST(RenderBatch, BitIdenticalToSequentialRenders) {
+  const Scene scene = generate_scene("train", RunScale{8, 64});
+  const auto cameras = orbit_cameras(scene, 5);
+  GsTgConfig config;
+  config.threads = 1;
+
+  const BatchRenderResult batch = render_batch(scene.cloud, cameras, config);
+  ASSERT_EQ(batch.images.size(), cameras.size());
+
+  RenderCounters merged;
+  for (std::size_t i = 0; i < cameras.size(); ++i) {
+    const RenderResult single = render_gstg(scene.cloud, cameras[i], config);
+    EXPECT_TRUE(images_identical(single.image, batch.images[i])) << "view " << i;
+    EXPECT_TRUE(counters_equal(single.counters, batch.counters[i])) << "view " << i;
+    merged.merge(single.counters);
+  }
+  EXPECT_EQ(merged.sort_pairs, batch.total.sort_pairs);
+  EXPECT_EQ(merged.blend_ops, batch.total.blend_ops);
+}
+
+TEST(RenderBatch, ViewParallelismDoesNotChangeOutput) {
+  const Scene scene = generate_scene("truck", RunScale{8, 64});
+  const auto cameras = orbit_cameras(scene, 6);
+  GsTgConfig config;
+  config.threads = 1;
+
+  BatchOptions sequential;
+  sequential.view_threads = 1;
+  BatchOptions parallel;
+  parallel.view_threads = 3;
+
+  const BatchRenderResult a = render_batch(scene.cloud, cameras, config, sequential);
+  const BatchRenderResult b = render_batch(scene.cloud, cameras, config, parallel);
+  ASSERT_EQ(a.images.size(), b.images.size());
+  for (std::size_t i = 0; i < a.images.size(); ++i) {
+    EXPECT_TRUE(images_identical(a.images[i], b.images[i])) << "view " << i;
+    EXPECT_TRUE(counters_equal(a.counters[i], b.counters[i])) << "view " << i;
+  }
+}
+
+TEST(RenderBatch, EmptyCameraListIsFine) {
+  const GaussianCloud cloud = make_random_cloud(50, 1);
+  GsTgConfig config;
+  const BatchRenderResult result = render_batch(cloud, {}, config);
+  EXPECT_TRUE(result.images.empty());
+  EXPECT_EQ(result.total.sort_pairs, 0u);
+}
+
+TEST(GroupSort, RadixMatchesComparisonOnScene) {
+  // Whole-pipeline check: forcing either group-sort algorithm produces the
+  // same image and the same sorted group lists, including depth ties.
+  const GaussianCloud cloud = make_random_cloud(900, 17);
+  const Camera camera = make_camera();
+
+  GsTgConfig comparison;
+  comparison.threads = 1;
+  comparison.sort_algo = SortAlgo::kComparison;
+  GsTgConfig radix = comparison;
+  radix.sort_algo = SortAlgo::kRadix;
+
+  const GsTgFrameData a = build_gstg_frame(cloud, camera, comparison);
+  const GsTgFrameData b = build_gstg_frame(cloud, camera, radix);
+  EXPECT_EQ(a.frame.group_bins.splat_ids, b.frame.group_bins.splat_ids);
+  EXPECT_EQ(a.frame.masks, b.frame.masks);
+
+  const RenderResult ra = render_gstg(cloud, camera, comparison);
+  const RenderResult rb = render_gstg(cloud, camera, radix);
+  EXPECT_TRUE(images_identical(ra.image, rb.image));
+}
+
+}  // namespace
+}  // namespace gstg

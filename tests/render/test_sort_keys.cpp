@@ -1,0 +1,162 @@
+// Packed-key radix sorting: key monotonicity, stability, and the
+// radix-vs-comparison equivalence the hot paths rely on (render/sort_keys.h).
+#include "render/sort_keys.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "render/binning.h"
+#include "render/sort.h"
+#include "render/types.h"
+
+namespace gstg {
+namespace {
+
+TEST(SortKeys, PackedKeyOrdersByDepthThenIndex) {
+  // Positive floats in increasing order must produce increasing keys.
+  const float depths[] = {1e-6f, 0.5f, 1.0f, 1.5f, 2.0f, 100.0f, 1e6f};
+  for (std::size_t i = 0; i + 1 < std::size(depths); ++i) {
+    EXPECT_LT(pack_depth_index_key(depths[i], 0), pack_depth_index_key(depths[i + 1], 0))
+        << depths[i] << " vs " << depths[i + 1];
+  }
+  // Equal depth: the index tiebreak decides.
+  EXPECT_LT(pack_depth_index_key(2.5f, 3), pack_depth_index_key(2.5f, 4));
+  // Depth dominates the index.
+  EXPECT_LT(pack_depth_index_key(1.0f, 0xffffffffu), pack_depth_index_key(1.0000001f, 0));
+  // Round trip of the index half.
+  EXPECT_EQ(key_index(pack_depth_index_key(3.25f, 12345u)), 12345u);
+}
+
+TEST(SortKeys, RadixSortKeysMatchesStdSort) {
+  std::mt19937 gen(7);
+  std::uniform_int_distribution<std::uint64_t> dist;
+  for (const std::size_t n : {0ul, 1ul, 2ul, 63ul, 64ul, 1000ul}) {
+    std::vector<std::uint64_t> keys(n);
+    for (auto& k : keys) k = dist(gen);
+    std::vector<std::uint64_t> expected = keys;
+    std::sort(expected.begin(), expected.end());
+
+    std::vector<std::uint64_t> tmp;
+    radix_sort_keys(keys, tmp, n, 64);
+    EXPECT_EQ(keys, expected) << "n=" << n;
+  }
+}
+
+TEST(SortKeys, RadixSortPairsIsStableOnDuplicateKeys) {
+  // Many duplicate keys; the payload records the original position, so
+  // stability means payloads stay increasing within each key.
+  std::mt19937 gen(11);
+  std::uniform_int_distribution<std::uint64_t> key_dist(0, 15);  // heavy ties
+  const std::size_t n = 4096;
+  std::vector<KeyValue> items(n);
+  for (std::size_t i = 0; i < n; ++i) items[i] = {key_dist(gen), i};
+
+  std::vector<KeyValue> tmp;
+  radix_sort_pairs(items, tmp, n, 8);
+
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    ASSERT_LE(items[i].key, items[i + 1].key);
+    if (items[i].key == items[i + 1].key) {
+      ASSERT_LT(items[i].value, items[i + 1].value) << "instability at " << i;
+    }
+  }
+}
+
+TEST(SortKeys, RadixSortRespectsKeyBitsParameter) {
+  // Only the low 16 bits are populated; 2 passes must fully sort.
+  std::mt19937 gen(13);
+  std::uniform_int_distribution<std::uint64_t> dist(0, 0xffff);
+  std::vector<std::uint64_t> keys(777);
+  for (auto& k : keys) k = dist(gen);
+  std::vector<std::uint64_t> expected = keys;
+  std::sort(expected.begin(), expected.end());
+
+  std::vector<std::uint64_t> tmp;
+  radix_sort_keys(keys, tmp, keys.size(), 16);
+  EXPECT_EQ(keys, expected);
+  EXPECT_EQ(radix_pass_count(16), 2);
+}
+
+// Builds a single-cell binning over splats with deliberate depth ties.
+BinnedSplats one_cell_bins(std::size_t n) {
+  BinnedSplats bins;
+  bins.grid = CellGrid::over_image(16, 16, 16);
+  bins.offsets = {0, static_cast<std::uint32_t>(n)};
+  bins.splat_ids.resize(n);
+  for (std::size_t i = 0; i < n; ++i) bins.splat_ids[i] = static_cast<std::uint32_t>(i);
+  return bins;
+}
+
+std::vector<ProjectedSplat> tied_depth_splats(std::size_t n, unsigned seed) {
+  // Depths drawn from a tiny set so most entries tie and the index tiebreak
+  // decides; indices are shuffled relative to ids to make the tiebreak
+  // observable.
+  std::mt19937 gen(seed);
+  std::uniform_int_distribution<int> depth_pick(1, 4);
+  std::vector<std::uint32_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = static_cast<std::uint32_t>(i);
+  std::shuffle(indices.begin(), indices.end(), gen);
+
+  std::vector<ProjectedSplat> splats(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    splats[i].depth = static_cast<float>(depth_pick(gen));
+    splats[i].index = indices[i];
+  }
+  return splats;
+}
+
+TEST(SortKeys, CellListRadixMatchesComparisonOnDepthTies) {
+  for (const std::size_t n : {2ul, 17ul, 63ul, 64ul, 257ul, 1024ul}) {
+    const std::vector<ProjectedSplat> splats =
+        tied_depth_splats(n, 23 + static_cast<unsigned>(n));
+
+    BinnedSplats comparison = one_cell_bins(n);
+    BinnedSplats radix = one_cell_bins(n);
+    RenderCounters c1, c2;
+    sort_cell_lists(comparison, splats, 1, c1, SortAlgo::kComparison);
+    sort_cell_lists(radix, splats, 1, c2, SortAlgo::kRadix);
+
+    EXPECT_EQ(comparison.splat_ids, radix.splat_ids) << "n=" << n;
+    EXPECT_EQ(c1.sort_pairs, c2.sort_pairs);
+    // Both orderings must actually be sorted by (depth, index).
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const ProjectedSplat& a = splats[radix.splat_ids[i]];
+      const ProjectedSplat& b = splats[radix.splat_ids[i + 1]];
+      ASSERT_TRUE(a.depth < b.depth || (a.depth == b.depth && a.index < b.index))
+          << "unsorted at " << i;
+    }
+  }
+}
+
+TEST(SortKeys, AutoSelectsRadixAboveCutoff) {
+  EXPECT_FALSE(use_radix_sort(SortAlgo::kAuto, kRadixSortCutoff - 1));
+  EXPECT_TRUE(use_radix_sort(SortAlgo::kAuto, kRadixSortCutoff));
+  EXPECT_TRUE(use_radix_sort(SortAlgo::kRadix, 2));
+  EXPECT_FALSE(use_radix_sort(SortAlgo::kComparison, 1 << 20));
+}
+
+TEST(SortKeys, SortScratchReusePreservesResults) {
+  // The same scratch across repeated sorts must not change the outcome.
+  const std::size_t n = 300;
+  const std::vector<ProjectedSplat> splats = tied_depth_splats(n, 99);
+  SortScratch scratch;
+
+  BinnedSplats reference = one_cell_bins(n);
+  RenderCounters cr;
+  sort_cell_lists(reference, splats, 1, cr, SortAlgo::kAuto);
+
+  for (int round = 0; round < 3; ++round) {
+    BinnedSplats bins = one_cell_bins(n);
+    RenderCounters c;
+    sort_cell_lists(bins, splats, 1, c, SortAlgo::kAuto, &scratch);
+    EXPECT_EQ(bins.splat_ids, reference.splat_ids) << "round " << round;
+    EXPECT_EQ(c.sort_pairs, cr.sort_pairs);
+    EXPECT_DOUBLE_EQ(c.sort_comparison_volume, cr.sort_comparison_volume);
+  }
+}
+
+}  // namespace
+}  // namespace gstg
