@@ -24,14 +24,17 @@
 #include "common/timer.h"
 #include "core/pipeline.h"
 #include "core/renderer.h"
+#include "json_writer.h"
 #include "render/framebuffer.h"
 #include "render/pipeline.h"
 #include "render/preprocess.h"
+#include "render/simd_kernels.h"
 #include "sim_runner.h"
 
 namespace {
 
 using namespace gstg;
+using benchutil::JsonWriter;
 using benchutil::cached_scene;
 
 std::vector<std::string> split_csv(const std::string& csv) {
@@ -46,83 +49,6 @@ std::vector<std::string> split_csv(const std::string& csv) {
   }
   return out;
 }
-
-/// Minimal JSON writer: enough structure for the BENCH_*.json records, no
-/// dependency. Tracks "first member" state so callers just emit key/values.
-class JsonWriter {
- public:
-  explicit JsonWriter(const std::string& path) : file_(std::fopen(path.c_str(), "w")) {
-    if (file_ == nullptr) throw std::runtime_error("run_all: cannot open " + path);
-  }
-  ~JsonWriter() {
-    if (file_ != nullptr) std::fclose(file_);
-  }
-  JsonWriter(const JsonWriter&) = delete;
-  JsonWriter& operator=(const JsonWriter&) = delete;
-
-  void open_object() { punctuate("{"); first_ = true; ++depth_; }
-  void close_object() { --depth_; newline_indent(); std::fputs("}", file_); first_ = false; }
-  void open_array(const std::string& key) { this->key(key); std::fputs("[", file_); first_ = true; ++depth_; }
-  void close_array() { --depth_; newline_indent(); std::fputs("]", file_); first_ = false; }
-  void open_object(const std::string& key) { this->key(key); std::fputs("{", file_); first_ = true; ++depth_; }
-
-  void value(const std::string& key, const std::string& v) {
-    this->key(key);
-    std::fprintf(file_, "\"%s\"", escape(v).c_str());
-  }
-  void value(const std::string& key, double v) {
-    this->key(key);
-    // Bare inf/nan tokens are not JSON; emit null so the file stays parseable.
-    if (std::isfinite(v)) {
-      std::fprintf(file_, "%.6g", v);
-    } else {
-      std::fputs("null", file_);
-    }
-  }
-  void value(const std::string& key, std::size_t v) {
-    this->key(key);
-    std::fprintf(file_, "%zu", v);
-  }
-  void value(const std::string& key, int v) {
-    this->key(key);
-    std::fprintf(file_, "%d", v);
-  }
-
-  void finish() {
-    std::fputs("\n", file_);
-    std::fclose(file_);
-    file_ = nullptr;
-  }
-
- private:
-  static std::string escape(const std::string& s) {
-    std::string out;
-    for (const char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    return out;
-  }
-  void punctuate(const char* open) {
-    if (!first_ && depth_ > 0) std::fputs(",", file_);
-    if (depth_ > 0) newline_indent();
-    std::fputs(open, file_);
-  }
-  void key(const std::string& k) {
-    if (!first_) std::fputs(",", file_);
-    newline_indent();
-    std::fprintf(file_, "\"%s\": ", escape(k).c_str());
-    first_ = false;
-  }
-  void newline_indent() {
-    std::fputs("\n", file_);
-    for (int i = 0; i < depth_; ++i) std::fputs("  ", file_);
-  }
-
-  std::FILE* file_;
-  bool first_ = true;
-  int depth_ = 0;
-};
 
 void write_header(JsonWriter& json, const char* kind) {
   const RunScale scale = run_scale_from_env();
@@ -324,8 +250,84 @@ bool run_software(const std::vector<std::string>& scenes, int repeat, std::size_
       json.value("sequential_ms", sequential_ms);
       json.value("batch_wall_ms", batch.wall_ms);
       json.value("speedup", batch.wall_ms > 0.0 ? sequential_ms / batch.wall_ms : 0.0);
-      json.value("identical_to_sequential", identical ? "true" : "false");
+      json.value_bool("identical_to_sequential", identical);
       json.close_object();
+    }
+
+    // SIMD backend A/B: every compiled backend renders the GS-TG pipeline in
+    // exact and fast-exp mode. Exact mode must be bit-identical to the
+    // scalar backend (part of the correctness gate); the widest-vs-scalar
+    // rasterize-stage ratio is this PR's acceptance speedup.
+    {
+      GsTgConfig scalar_config;
+      scalar_config.threads = threads;
+      scalar_config.simd = SimdPolicy{SimdBackend::kScalar, ExpMode::kExact};
+      const RenderResult scalar_exact = best_of(repeat, [&] {
+        return render_gstg(scene.cloud, scene.camera, scalar_config);
+      });
+
+      json.open_object("simd");
+      json.value("widest", to_string(widest_verified_backend()));
+      double widest_exact_raster = scalar_exact.times.raster_ms;
+      double widest_exact_pre = scalar_exact.times.preprocess_ms;
+      double widest_fast_raster = scalar_exact.times.raster_ms;
+      json.open_array("backends");
+      for (const SimdBackend backend : available_simd_backends()) {
+        GsTgConfig config;
+        config.threads = threads;
+        config.simd = SimdPolicy{backend, ExpMode::kExact};
+        // The scalar/exact reference render doubles as that backend's sample.
+        const RenderResult exact = backend == SimdBackend::kScalar
+                                       ? scalar_exact
+                                       : best_of(repeat, [&] {
+                                           return render_gstg(scene.cloud, scene.camera, config);
+                                         });
+        config.simd.exp_mode = ExpMode::kFast;
+        const RenderResult fast = best_of(repeat, [&] {
+          return render_gstg(scene.cloud, scene.camera, config);
+        });
+
+        const bool identical = max_abs_diff(scalar_exact.image, exact.image) == 0.0f;
+        if (!identical) {
+          lossless_ok = false;
+          std::fprintf(stderr, "run_all: SIMD EXACT-MODE MISMATCH on %s (backend %s)\n",
+                       name.c_str(), to_string(backend));
+        }
+        if (backend == widest_verified_backend()) {
+          widest_exact_raster = exact.times.raster_ms;
+          widest_exact_pre = exact.times.preprocess_ms;
+          widest_fast_raster = fast.times.raster_ms;
+        }
+
+        json.open_object();
+        json.value("backend", to_string(backend));
+        json.value("lane_width", simd_kernels(backend).lane_width);
+        json.value("exact_preprocess_ms", exact.times.preprocess_ms);
+        json.value("exact_raster_ms", exact.times.raster_ms);
+        json.value_bool("exact_identical_to_scalar", identical);
+        json.value("fast_preprocess_ms", fast.times.preprocess_ms);
+        json.value("fast_raster_ms", fast.times.raster_ms);
+        json.value("fast_max_abs_diff",
+                   static_cast<double>(max_abs_diff(scalar_exact.image, fast.image)));
+        json.close_object();
+      }
+      json.close_array();
+      json.value("speedup_raster_exact_widest_vs_scalar",
+                 widest_exact_raster > 0.0 ? scalar_exact.times.raster_ms / widest_exact_raster
+                                           : 0.0);
+      json.value("speedup_raster_fast_widest_vs_scalar",
+                 widest_fast_raster > 0.0 ? scalar_exact.times.raster_ms / widest_fast_raster
+                                          : 0.0);
+      json.value("speedup_preprocess_exact_widest_vs_scalar",
+                 widest_exact_pre > 0.0
+                     ? scalar_exact.times.preprocess_ms / widest_exact_pre
+                     : 0.0);
+      json.close_object();
+      std::printf(
+          "run_all: %s simd widest=%s raster speedup exact %.2fx fast %.2fx\n", name.c_str(),
+          to_string(widest_verified_backend()),
+          widest_exact_raster > 0.0 ? scalar_exact.times.raster_ms / widest_exact_raster : 0.0,
+          widest_fast_raster > 0.0 ? scalar_exact.times.raster_ms / widest_fast_raster : 0.0);
     }
     json.close_object();
   }

@@ -1,8 +1,14 @@
 # Defines gstg::sanitizers, an INTERFACE target that turns on ASan + UBSan
-# when GSTG_SANITIZE is set. Linked PUBLIC through the layer libraries so
-# every test/bench/example executable inherits the instrumented runtime.
+# when GSTG_SANITIZE is set, or TSan when GSTG_SANITIZE_THREAD is set (the
+# two are mutually exclusive — TSan cannot be combined with ASan). Linked
+# PUBLIC through the layer libraries so every test/bench/example executable
+# inherits the instrumented runtime.
 add_library(gstg_sanitizers INTERFACE)
 add_library(gstg::sanitizers ALIAS gstg_sanitizers)
+
+if(GSTG_SANITIZE AND GSTG_SANITIZE_THREAD)
+  message(FATAL_ERROR "GSTG_SANITIZE and GSTG_SANITIZE_THREAD are mutually exclusive")
+endif()
 
 if(GSTG_SANITIZE)
   if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
@@ -13,5 +19,16 @@ if(GSTG_SANITIZE)
     target_link_options(gstg_sanitizers INTERFACE -fsanitize=address,undefined)
   else()
     message(WARNING "GSTG_SANITIZE requested but not supported for ${CMAKE_CXX_COMPILER_ID}")
+  endif()
+endif()
+
+if(GSTG_SANITIZE_THREAD)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(gstg_sanitizers INTERFACE
+      -fsanitize=thread
+      -fno-omit-frame-pointer)
+    target_link_options(gstg_sanitizers INTERFACE -fsanitize=thread)
+  else()
+    message(WARNING "GSTG_SANITIZE_THREAD requested but not supported for ${CMAKE_CXX_COMPILER_ID}")
   endif()
 endif()

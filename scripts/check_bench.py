@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compares a fresh run_all BENCH_software.json against
+the committed baseline (bench/baseline/BENCH_software.json) and fails when a
+tracked quantity drifts by more than the tolerance (default +/-15%).
+
+What is compared, and why:
+
+  * Work counters (visible_gaussians, tile_pairs, sort_pairs,
+    sort_comparison_volume, alpha_computations, blend_ops, bitmask_tests,
+    filter_checks) for both pipelines of every scene. These are
+    machine-independent at a fixed GSTG_SCALE — they are pure functions of
+    the code — so drift means the rendering workload itself changed: the
+    perf signal that survives CI-runner noise.
+  * Workload ratios (sort_pair_reduction) — the paper's headline
+    reduction must not silently erode.
+  * Correctness flags (lossless_max_abs_diff == 0,
+    batch.identical_to_sequential, every simd backend's
+    exact_identical_to_scalar) — these are hard failures regardless of
+    tolerance.
+
+Wall-clock fields (*_ms, speedups derived from them) are skipped by default:
+absolute times are machine-dependent and CI runners are noisy. Pass
+--check-times for same-machine comparisons (e.g. refreshing the baseline
+locally and eyeballing the diff).
+
+Usage:
+  check_bench.py <fresh BENCH_software.json> <baseline BENCH_software.json>
+                 [--tolerance=0.15] [--check-times]
+
+Baseline refresh procedure: see bench/README.md ("Perf-regression gate").
+"""
+
+import json
+import sys
+
+COUNTER_KEYS = [
+    "visible_gaussians",
+    "tile_pairs",
+    "sort_pairs",
+    "sort_comparison_volume",
+    "alpha_computations",
+    "blend_ops",
+    "bitmask_tests",
+    "filter_checks",
+]
+RATIO_KEYS = ["sort_pair_reduction"]
+TIME_SUFFIX = "_ms"
+
+
+def rel_diff(new, old):
+    if old == 0:
+        return 0.0 if new == 0 else float("inf")
+    return abs(new - old) / abs(old)
+
+
+class Gate:
+    def __init__(self, tolerance):
+        self.tolerance = tolerance
+        self.failures = []
+        self.checked = 0
+
+    def check(self, where, key, new, old):
+        self.checked += 1
+        d = rel_diff(new, old)
+        if d > self.tolerance:
+            self.failures.append(
+                f"{where}.{key}: {new} vs baseline {old} ({d * 100.0:.1f}% > "
+                f"{self.tolerance * 100.0:.0f}%)"
+            )
+
+    def require(self, where, condition, message):
+        self.checked += 1
+        if not condition:
+            self.failures.append(f"{where}: {message}")
+
+
+def compare_section(gate, where, new, old, keys):
+    for key in keys:
+        if key in old:
+            if key not in new:
+                gate.require(where, False, f"missing field '{key}' in fresh output")
+            else:
+                gate.check(where, key, new[key], old[key])
+
+
+def compare_times(gate, where, new, old):
+    for key, value in old.items():
+        if key.endswith(TIME_SUFFIX) and isinstance(value, (int, float)):
+            if isinstance(new.get(key), (int, float)):
+                gate.check(where, key, new[key], value)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    opts = [a for a in argv[1:] if a.startswith("--")]
+    if len(args) != 2:
+        print(__doc__)
+        return 1
+    tolerance = 0.15
+    check_times = False
+    for opt in opts:
+        if opt.startswith("--tolerance="):
+            tolerance = float(opt.split("=", 1)[1])
+        elif opt == "--check-times":
+            check_times = True
+        else:
+            print(f"check_bench: unknown option {opt}")
+            return 1
+
+    with open(args[0]) as f:
+        fresh = json.load(f)
+    with open(args[1]) as f:
+        baseline = json.load(f)
+
+    gate = Gate(tolerance)
+
+    fresh_scale = fresh.get("scale", {})
+    base_scale = baseline.get("scale", {})
+    if fresh_scale != base_scale:
+        print(
+            f"check_bench: FAIL — scale mismatch (fresh {fresh_scale} vs baseline "
+            f"{base_scale}); run with the baseline's GSTG_SCALE"
+        )
+        return 1
+
+    fresh_scenes = {s["scene"]: s for s in fresh.get("scenes", [])}
+    base_scenes = {s["scene"]: s for s in baseline.get("scenes", [])}
+    missing = sorted(set(base_scenes) - set(fresh_scenes))
+    if missing:
+        print(f"check_bench: FAIL — scenes missing from fresh output: {missing}")
+        return 1
+    extra = sorted(set(fresh_scenes) - set(base_scenes))
+    if extra:
+        print(
+            f"check_bench: note — scenes not in baseline (unchecked): {extra}; "
+            "refresh the baseline to cover them (bench/README.md)"
+        )
+
+    for name, base in sorted(base_scenes.items()):
+        new = fresh_scenes[name]
+        gate.require(
+            name,
+            new.get("lossless_max_abs_diff", 1) == 0,
+            f"lossless violation (max diff {new.get('lossless_max_abs_diff')})",
+        )
+        for section in ("baseline", "gstg"):
+            if section in base:
+                compare_section(
+                    gate, f"{name}.{section}", new.get(section, {}), base[section], COUNTER_KEYS
+                )
+                if check_times:
+                    compare_times(gate, f"{name}.{section}", new.get(section, {}), base[section])
+        if "ratios" in base:
+            compare_section(gate, f"{name}.ratios", new.get("ratios", {}), base["ratios"], RATIO_KEYS)
+        # Correctness sections are required from the baseline's side: a fresh
+        # output that stops emitting them must fail, not silently skip the gate.
+        if "batch" in base:
+            gate.require(f"{name}.batch", "batch" in new, "batch section missing from fresh output")
+        if "batch" in new:
+            gate.require(
+                f"{name}.batch",
+                new["batch"].get("identical_to_sequential") in (True, "true"),
+                "batch output diverged from sequential rendering",
+            )
+        if "simd" in base:
+            gate.require(
+                f"{name}.simd",
+                bool(new.get("simd", {}).get("backends")),
+                "simd section missing or empty in fresh output",
+            )
+        for backend in new.get("simd", {}).get("backends", []):
+            gate.require(
+                f"{name}.simd.{backend.get('backend')}",
+                backend.get("exact_identical_to_scalar") in (True, "true"),
+                "exact-mode framebuffer diverged from the scalar backend",
+            )
+
+    if gate.failures:
+        print(f"check_bench: FAIL — {len(gate.failures)} violation(s), {gate.checked} checks:")
+        for f in gate.failures:
+            print(f"  {f}")
+        print("If the change is intentional, refresh the baseline (bench/README.md).")
+        return 1
+    print(
+        f"check_bench: OK ({gate.checked} checks within {tolerance * 100.0:.0f}% across "
+        f"{len(base_scenes)} scenes)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -9,6 +9,13 @@
 
 namespace gstg {
 
+/// Frustum-cull defaults shared by Camera::in_frustum and the SIMD
+/// preprocess kernels (render/simd_kernels.inl): near-plane z and the
+/// relative guard band on x/y (the reference implementation's 1.3x
+/// tan(fov) bound).
+inline constexpr float kFrustumNearZ = 0.2f;
+inline constexpr float kFrustumGuard = 1.3f;
+
 class Camera {
  public:
   /// Intrinsics from a horizontal field of view (radians); principal point at
@@ -40,7 +47,8 @@ class Camera {
   /// (relative margin on x/y) keeps splats whose centre is just outside the
   /// image but whose footprint reaches in, as the reference implementation
   /// does with its 1.3x tan(fov) bound.
-  [[nodiscard]] bool in_frustum(Vec3 view, float near_z = 0.2f, float guard = 1.3f) const;
+  [[nodiscard]] bool in_frustum(Vec3 view, float near_z = kFrustumNearZ,
+                                float guard = kFrustumGuard) const;
 
   [[nodiscard]] float tan_half_fov_x() const { return 0.5f * static_cast<float>(width_) / fx_; }
   [[nodiscard]] float tan_half_fov_y() const { return 0.5f * static_cast<float>(height_) / fy_; }

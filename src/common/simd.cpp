@@ -1,0 +1,85 @@
+#include "common/simd.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace gstg {
+
+const char* to_string(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::kAuto:
+      return "auto";
+    case SimdBackend::kScalar:
+      return "scalar";
+    case SimdBackend::kSse4:
+      return "sse4";
+    case SimdBackend::kAvx2:
+      return "avx2";
+    case SimdBackend::kNeon:
+      return "neon";
+  }
+  return "auto";
+}
+
+SimdBackend simd_backend_from_string(const char* name) {
+  if (name == nullptr) return SimdBackend::kAuto;
+  const std::string s = name;
+  if (s == "auto" || s.empty()) return SimdBackend::kAuto;
+  if (s == "scalar") return SimdBackend::kScalar;
+  if (s == "sse4") return SimdBackend::kSse4;
+  if (s == "avx2") return SimdBackend::kAvx2;
+  if (s == "neon") return SimdBackend::kNeon;
+  throw std::invalid_argument("unknown SIMD backend name: " + s +
+                              " (expected auto|scalar|sse4|avx2|neon)");
+}
+
+SimdBackend simd_backend_from_env() {
+  const char* env = std::getenv("GSTG_SIMD");
+  if (env == nullptr) return SimdBackend::kAuto;
+  try {
+    return simd_backend_from_string(env);
+  } catch (const std::invalid_argument&) {
+    static std::once_flag warned;
+    std::call_once(warned, [env] {
+      std::fprintf(stderr,
+                   "gstg: ignoring unknown GSTG_SIMD value '%s' "
+                   "(expected auto|scalar|sse4|avx2|neon)\n",
+                   env);
+    });
+    return SimdBackend::kAuto;
+  }
+}
+
+bool cpu_supports(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::kAuto:
+    case SimdBackend::kScalar:
+      return true;
+    case SimdBackend::kSse4:
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("sse4.2") != 0;
+#else
+      return false;
+#endif
+    case SimdBackend::kAvx2:
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+      // __builtin_cpu_supports folds in the xsave/OS-state check for AVX.
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case SimdBackend::kNeon:
+#if defined(__aarch64__) || defined(_M_ARM64)
+      return true;  // NEON is architecturally guaranteed on AArch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+}  // namespace gstg

@@ -7,6 +7,7 @@
 
 #include "common/parallel.h"
 #include "render/rasterize.h"
+#include "render/simd_kernels.h"
 
 namespace gstg {
 
@@ -164,6 +165,11 @@ void rasterize_grouped(const GroupedFrame& frame, std::span<const ProjectedSplat
   const int r = frame.config.tiles_per_side();
   const std::size_t tiles = static_cast<std::size_t>(tile_grid.cell_count());
 
+  // Backend resolution happens once per frame; every tile kernel call then
+  // dispatches on a concrete backend (no env reads in the hot loop).
+  const SimdPolicy simd{resolve_simd_backend(frame.config.simd.backend),
+                        frame.config.simd.exp_mode};
+
   // Per-worker reusable buffers sized from the exact worker count. The
   // stats are plain integers, so they merge through atomics.
   const std::size_t workers = planned_worker_count(tiles, threads);
@@ -203,7 +209,8 @@ void rasterize_grouped(const GroupedFrame& frame, std::span<const ProjectedSplat
       const int y0 = ty * tile_grid.cell_size;
       const int x1 = std::min(x0 + tile_grid.cell_size, tile_grid.image_width);
       const int y1 = std::min(y0 + tile_grid.cell_size, tile_grid.image_height);
-      local.raster.accumulate(rasterize_tile(splats, filtered, x0, y0, x1, y1, fb, wk.tile));
+      local.raster.accumulate(
+          rasterize_tile(splats, filtered, x0, y0, x1, y1, fb, wk.tile, simd));
     }
     alpha.fetch_add(local.raster.alpha_computations, std::memory_order_relaxed);
     blends.fetch_add(local.raster.blend_ops, std::memory_order_relaxed);

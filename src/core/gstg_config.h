@@ -28,6 +28,10 @@ struct GsTgConfig {
   /// Group-sort algorithm: packed-key radix, comparison sort, or kAuto
   /// (radix above the cutoff). All choices order identically.
   SortAlgo sort_algo = SortAlgo::kAuto;
+  /// SIMD kernel policy for preprocess/rasterize (see common/simd.h): kAuto
+  /// backend resolves to the widest verified one (GSTG_SIMD overrides);
+  /// exact exponential mode (the default) keeps bit-identity with scalar.
+  SimdPolicy simd;
   std::size_t threads = 0;  ///< 0 = auto
 
   /// The RenderConfig this GS-TG config implies for the stages shared with
@@ -40,6 +44,7 @@ struct GsTgConfig {
     rc.boundary = mask_boundary;
     rc.opacity_aware_rho = opacity_aware_rho;
     rc.sort_algo = sort_algo;
+    rc.simd = simd;
     rc.threads = threads;
     return rc;
   }

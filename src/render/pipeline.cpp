@@ -27,7 +27,7 @@ RenderResult render_baseline(const GaussianCloud& cloud, const Camera& camera,
   result.times.sort_ms = timer.lap_ms();
 
   // Tile-wise rasterization.
-  rasterize_all(bins, splats, result.image, config.threads, result.counters);
+  rasterize_all(bins, splats, result.image, config.threads, result.counters, config.simd);
   result.times.raster_ms = timer.lap_ms();
 
   return result;

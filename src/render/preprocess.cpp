@@ -1,11 +1,7 @@
 #include "render/preprocess.h"
 
-#include <atomic>
-#include <cmath>
-
-#include "camera/ewa.h"
 #include "common/parallel.h"
-#include "gaussian/sh.h"
+#include "render/simd_kernels.h"
 
 namespace gstg {
 
@@ -29,32 +25,21 @@ void preprocess_into(const GaussianCloud& cloud, const Camera& camera,
   if (slots.size() < n) slots.resize(n);
   std::vector<std::uint8_t>& keep = scratch.keep;
   keep.assign(n, 0);
-  const Vec3 cam_pos = camera.position();
+
+  // Projection/conic math runs through the SIMD kernel table; backend is
+  // resolved once per frame, and exact per-lane arithmetic makes the output
+  // independent of the lane width (common/simd.h).
+  const SimdKernels& kernels = simd_kernels(resolve_simd_backend(config.simd.backend));
+  PreprocessChunkArgs args;
+  args.cloud = &cloud;
+  args.camera = &camera;
+  args.opacity_aware_rho = config.opacity_aware_rho;
+  args.cam_pos = camera.position();
+  args.slots = slots.data();
+  args.keep = keep.data();
 
   parallel_for_chunks(0, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const Vec3 view = camera.to_view(cloud.position(i));
-      if (!camera.in_frustum(view)) continue;
-
-      const float opacity = cloud.opacity(i);
-      if (opacity < kAlphaThreshold) continue;  // can never contribute
-
-      Sym2 cov = project_covariance(camera, cloud.covariance3d(i), view);
-      if (cov.determinant() <= 0.0f) continue;  // numerically degenerate
-
-      ProjectedSplat s;
-      s.center = camera.view_to_pixel(view);
-      s.cov = cov;
-      s.conic = inverse(cov);
-      s.depth = view.z;
-      s.opacity = opacity;
-      s.rho = config.opacity_aware_rho ? opacity_aware_rho(opacity) : kThreeSigmaRho;
-      if (s.rho <= 0.0f) continue;
-      s.rgb = eval_sh_color(cloud.sh_degree(), cloud.sh(i), normalized(cloud.position(i) - cam_pos));
-      s.index = static_cast<std::uint32_t>(i);
-      slots[i] = s;
-      keep[i] = 1;
-    }
+    kernels.preprocess_chunk(args, lo, hi);
   }, config.threads);
 
   out.clear();

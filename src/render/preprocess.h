@@ -27,7 +27,9 @@ struct PreprocessScratch {
 ///  - drops splats with degenerate covariance or opacity below 1/255.
 /// Output order equals cloud order (restricted to survivors), making all
 /// downstream stages deterministic. Updates `counters.input_gaussians` and
-/// `counters.visible_gaussians`.
+/// `counters.visible_gaussians`. The projection/conic math runs through the
+/// SIMD kernel selected by `config.simd` (render/simd_kernels.h); every
+/// backend produces bit-identical splats.
 std::vector<ProjectedSplat> preprocess(const GaussianCloud& cloud, const Camera& camera,
                                        const RenderConfig& config, RenderCounters& counters);
 

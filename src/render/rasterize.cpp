@@ -1,96 +1,41 @@
 #include "render/rasterize.h"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
 #include <vector>
 
 #include "common/parallel.h"
+#include "render/simd_kernels.h"
 
 namespace gstg {
 
 TileRasterStats rasterize_tile(std::span<const ProjectedSplat> splats,
                                std::span<const std::uint32_t> order, int x0, int y0, int x1,
-                               int y1, Framebuffer& fb) {
+                               int y1, Framebuffer& fb, SimdPolicy simd) {
   TileRasterScratch scratch;
-  return rasterize_tile(splats, order, x0, y0, x1, y1, fb, scratch);
+  return rasterize_tile(splats, order, x0, y0, x1, y1, fb, scratch, simd);
 }
 
 TileRasterStats rasterize_tile(std::span<const ProjectedSplat> splats,
                                std::span<const std::uint32_t> order, int x0, int y0, int x1,
-                               int y1, Framebuffer& fb, TileRasterScratch& scratch) {
+                               int y1, Framebuffer& fb, TileRasterScratch& scratch,
+                               SimdPolicy simd) {
   if (x0 < 0 || y0 < 0 || x1 > fb.width() || y1 > fb.height() || x1 <= x0 || y1 <= y0) {
     throw std::invalid_argument("rasterize_tile: block out of bounds");
   }
-  const int bw = x1 - x0;
-  const int bh = y1 - y0;
-  const std::size_t npx = static_cast<std::size_t>(bw) * bh;
-
-  TileRasterStats stats;
-  stats.pixels = npx;
-  // Fig. 7 workload metric counts the full list length per pixel; the alpha
-  // skip and early exit below are optimisations on top of that workload.
-  stats.pixel_list_work = order.size() * npx;
-
-  // Active-pixel compaction: transmittance, accumulated colour, and the
-  // surviving pixel index list (reused across tiles via `scratch`).
-  std::vector<float>& transmittance = scratch.transmittance;
-  std::vector<Vec3>& accum = scratch.accum;
-  std::vector<std::uint32_t>& active = scratch.active;
-  transmittance.assign(npx, 1.0f);
-  accum.assign(npx, Vec3{});
-  if (active.size() < npx) active.resize(npx);
-  for (std::size_t i = 0; i < npx; ++i) active[i] = static_cast<std::uint32_t>(i);
-  std::size_t active_count = npx;
-
-  for (const std::uint32_t id : order) {
-    if (active_count == 0) break;
-    const ProjectedSplat& s = splats[id];
-    // alpha >= 1/255 requires q <= 2 ln(255 sigma); precompute to skip exp.
-    const float q_max = 2.0f * std::log(255.0f * s.opacity);
-
-    for (std::size_t k = 0; k < active_count;) {
-      const std::uint32_t p = active[k];
-      const float px = static_cast<float>(x0 + static_cast<int>(p) % bw) + 0.5f;
-      const float py = static_cast<float>(y0 + static_cast<int>(p) / bw) + 0.5f;
-      const Vec2 d{px - s.center.x, py - s.center.y};
-      const float q = s.conic.quad(d);
-      ++stats.alpha_computations;
-      if (q > q_max || q < 0.0f) {  // alpha below 1/255 (q<0 guards fp blowup)
-        ++k;
-        continue;
-      }
-      const float alpha = std::min(kAlphaClamp, s.opacity * std::exp(-0.5f * q));
-      if (alpha < kAlphaThreshold) {
-        ++k;
-        continue;
-      }
-      ++stats.blend_ops;
-      const float t = transmittance[p];
-      accum[p] = accum[p] + s.rgb * (alpha * t);
-      const float t_next = t * (1.0f - alpha);
-      transmittance[p] = t_next;
-      if (t_next < kTransmittanceThreshold) {
-        ++stats.early_exit_pixels;
-        active[k] = active[--active_count];  // swap-remove; order is irrelevant
-      } else {
-        ++k;
-      }
-    }
-  }
-
-  for (std::size_t i = 0; i < npx; ++i) {
-    const int px = x0 + static_cast<int>(i) % bw;
-    const int py = y0 + static_cast<int>(i) / bw;
-    fb.at(px, py) = accum[i];
-  }
-  return stats;
+  const SimdKernels& kernels = simd_kernels(resolve_simd_backend(simd.backend));
+  return kernels.rasterize_tile(splats, order, x0, y0, x1, y1, fb, scratch, simd.exp_mode);
 }
 
 void rasterize_all(const BinnedSplats& bins, std::span<const ProjectedSplat> splats,
-                   Framebuffer& fb, std::size_t threads, RenderCounters& counters) {
+                   Framebuffer& fb, std::size_t threads, RenderCounters& counters,
+                   SimdPolicy simd) {
   const CellGrid& grid = bins.grid;
   const std::size_t cells = static_cast<std::size_t>(grid.cell_count());
+
+  // Resolve once per stage (not per tile): one env read / probe, then a
+  // concrete backend for every worker.
+  const SimdPolicy resolved{resolve_simd_backend(simd.backend), simd.exp_mode};
 
   // Per-worker stat slots sized from the exact worker count (no aliasing),
   // merged in worker order after the join.
@@ -108,7 +53,7 @@ void rasterize_all(const BinnedSplats& bins, std::span<const ProjectedSplat> spl
       const int x1 = std::min(x0 + grid.cell_size, grid.image_width);
       const int y1 = std::min(y0 + grid.cell_size, grid.image_height);
       local.accumulate(rasterize_tile(splats, bins.cell_list(static_cast<int>(c)), x0, y0, x1,
-                                      y1, fb, scratch));
+                                      y1, fb, scratch, resolved));
     }
     per_worker[worker].accumulate(local);
   }, threads);

@@ -2,11 +2,18 @@
 // alpha blending (eq. 2) with the 1/255 alpha skip and 1e-4 transmittance
 // early exit. The single-tile routine is shared by the baseline pipeline
 // (per-tile sorted lists) and GS-TG (group-sorted list filtered by bitmask).
+//
+// The inner loop runs through the SIMD kernel table (render/simd_kernels.h):
+// a SimdPolicy selects the lane width (scalar / SSE4.2 / AVX2 / NEON, kAuto =
+// widest verified backend) and the exponential mode. Exact mode is
+// bit-identical across every backend; counters are exact under vectorization
+// in both modes.
 #pragma once
 
 #include <cstdint>
 #include <span>
 
+#include "common/simd.h"
 #include "render/binning.h"
 #include "render/framebuffer.h"
 #include "render/types.h"
@@ -30,29 +37,42 @@ struct TileRasterStats {
   }
 };
 
-/// Reusable per-worker blending buffers (transmittance, colour accumulator,
-/// active-pixel list), sized to the largest tile seen so far.
+/// Reusable per-worker blending buffers in structure-of-arrays layout (lane
+/// kernels stream them directly): pixel centres, transmittance, accumulated
+/// colour channels and the surviving pixel index, all compacted together
+/// when pixels hit the transmittance early exit. Sized to the largest tile
+/// seen so far (rounded up to the widest lane count).
 struct TileRasterScratch {
+  std::vector<float> px;
+  std::vector<float> py;
   std::vector<float> transmittance;
-  std::vector<Vec3> accum;
-  std::vector<std::uint32_t> active;
+  std::vector<float> r;
+  std::vector<float> g;
+  std::vector<float> b;
+  std::vector<std::uint32_t> pixel;
 };
 
 /// Rasterizes the depth-ordered splat sequence `order` into the pixel block
 /// [x0, x1) x [y0, y1) of `fb` (block must lie inside the framebuffer).
-/// Pixel centres are at integer + 0.5. Returns the work statistics.
+/// Pixel centres are at integer + 0.5. Returns the work statistics;
+/// `alpha_computations` counts the (pixel, splat) pairs whose quad
+/// evaluation passed the footprint guard (0 <= q <= 2 ln(255 sigma)) — the
+/// alpha evaluations the datapath actually performs, the paper's Fig. 7
+/// workload quantity.
 TileRasterStats rasterize_tile(std::span<const ProjectedSplat> splats,
                                std::span<const std::uint32_t> order, int x0, int y0, int x1,
-                               int y1, Framebuffer& fb);
+                               int y1, Framebuffer& fb, SimdPolicy simd = {});
 
 /// rasterize_tile() with caller-owned blending buffers (no allocations once
 /// the scratch has warmed up to the tile size).
 TileRasterStats rasterize_tile(std::span<const ProjectedSplat> splats,
                                std::span<const std::uint32_t> order, int x0, int y0, int x1,
-                               int y1, Framebuffer& fb, TileRasterScratch& scratch);
+                               int y1, Framebuffer& fb, TileRasterScratch& scratch,
+                               SimdPolicy simd = {});
 
 /// Baseline full-image rasterization over per-tile sorted lists.
 void rasterize_all(const BinnedSplats& bins, std::span<const ProjectedSplat> splats,
-                   Framebuffer& fb, std::size_t threads, RenderCounters& counters);
+                   Framebuffer& fb, std::size_t threads, RenderCounters& counters,
+                   SimdPolicy simd = {});
 
 }  // namespace gstg

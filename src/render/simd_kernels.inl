@@ -1,0 +1,428 @@
+// Width-generic SIMD kernel bodies for the rasterization blending loop and
+// the preprocess projection/conic math. Included once per backend TU with
+//   GSTG_SIMD_NS     the backend namespace (simd_scalar, simd_avx2, ...)
+//   GSTG_SIMD_WIDTH  the lane count (1, 4 or 8)
+// defined. Every TU compiles with -ffp-contract=off; the per-lane arithmetic
+// below mirrors the scalar reference expressions operation for operation
+// (same association, same std::min/clamp comparison order, same NaN
+// behaviour), which is what makes exact-mode output bit-identical across
+// lane widths (see common/simd.h).
+//
+// Lane blocks are padded: buffers are sized to a multiple of the lane width
+// and partial blocks run full-width with a validity mask, so there is no
+// separate scalar tail path that could diverge. Padding lanes always hold
+// finite values (clones of real entries) and are never counted or stored.
+
+#if !defined(GSTG_SIMD_NS) || !defined(GSTG_SIMD_WIDTH)
+#error "simd_kernels.inl requires GSTG_SIMD_NS and GSTG_SIMD_WIDTH"
+#endif
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "camera/camera.h"
+#include "camera/ewa.h"
+#include "common/simd.h"
+#include "gaussian/cloud.h"
+#include "gaussian/sh.h"
+#include "geometry/ellipse.h"
+#include "render/framebuffer.h"
+#include "render/rasterize.h"
+#include "render/simd_kernels.h"
+#include "render/types.h"
+
+namespace gstg {
+namespace GSTG_SIMD_NS {
+
+namespace {
+
+constexpr int kW = GSTG_SIMD_WIDTH;
+using F = VecF32<kW>;
+using M = Mask<kW>;
+
+/// 3x3 matrix of lanes with the scalar Mat3's accumulation order
+/// (s = 0; s += a[i][k] * b[k][j] for k = 0, 1, 2).
+struct LaneMat3 {
+  F m[3][3];
+};
+
+GSTG_SIMD_INLINE LaneMat3 matmul(const LaneMat3& a, const LaneMat3& b) {
+  LaneMat3 r;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      F s = F::broadcast(0.0f);
+      for (int k = 0; k < 3; ++k) s = s + a.m[i][k] * b.m[k][j];
+      r.m[i][j] = s;
+    }
+  }
+  return r;
+}
+
+GSTG_SIMD_INLINE LaneMat3 transposed(const LaneMat3& a) {
+  LaneMat3 r;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) r.m[i][j] = a.m[j][i];
+  }
+  return r;
+}
+
+/// Validity mask for a partial block: lane i is live iff i < count.
+GSTG_SIMD_INLINE M valid_mask(std::size_t count) {
+  M v;
+  for (int i = 0; i < kW; ++i) v.m[i] = static_cast<std::size_t>(i) < count ? -1 : 0;
+  return v;
+}
+
+}  // namespace
+
+TileRasterStats rasterize_tile_kernel(std::span<const ProjectedSplat> splats,
+                                      std::span<const std::uint32_t> order, int x0, int y0,
+                                      int x1, int y1, Framebuffer& fb,
+                                      TileRasterScratch& sc, ExpMode exp_mode) {
+  const int bw = x1 - x0;
+  const int bh = y1 - y0;
+  const std::size_t npx = static_cast<std::size_t>(bw) * bh;
+
+  TileRasterStats stats;
+  stats.pixels = npx;
+  // Fig. 7 workload metric counts the full list length per pixel; the
+  // in-range guard and early exit below are optimisations on top of it.
+  stats.pixel_list_work = order.size() * npx;
+
+  // SoA staging, padded to a whole number of lane blocks. Padding slots are
+  // clones of the last real pixel: finite inputs for the masked lanes, never
+  // counted and never flushed.
+  const std::size_t cap = (npx + kW - 1) / kW * kW;
+  if (sc.px.size() < cap) {
+    sc.px.resize(cap);
+    sc.py.resize(cap);
+    sc.transmittance.resize(cap);
+    sc.r.resize(cap);
+    sc.g.resize(cap);
+    sc.b.resize(cap);
+    sc.pixel.resize(cap);
+  }
+  for (std::size_t i = 0; i < cap; ++i) {
+    const std::size_t p = i < npx ? i : npx - 1;
+    sc.px[i] = static_cast<float>(x0 + static_cast<int>(p) % bw) + 0.5f;
+    sc.py[i] = static_cast<float>(y0 + static_cast<int>(p) / bw) + 0.5f;
+    sc.transmittance[i] = 1.0f;
+    sc.r[i] = 0.0f;
+    sc.g[i] = 0.0f;
+    sc.b[i] = 0.0f;
+    sc.pixel[i] = static_cast<std::uint32_t>(p);
+  }
+  std::size_t active = npx;
+
+  const F zero = F::broadcast(0.0f);
+  const F one = F::broadcast(1.0f);
+  const F alpha_clamp = F::broadcast(kAlphaClamp);
+  const F alpha_thresh = F::broadcast(kAlphaThreshold);
+  const F t_thresh = F::broadcast(kTransmittanceThreshold);
+  const M all_valid = valid_mask(kW);
+
+  // Branch-free statistics: masks accumulate as -1s into integer lanes (one
+  // vector add per block), reduced once after the splat loop.
+  VecI32<kW> acc_pass = VecI32<kW>::broadcast(0);
+  VecI32<kW> acc_blend = VecI32<kW>::broadcast(0);
+  VecI32<kW> acc_exit = VecI32<kW>::broadcast(0);
+
+  for (const std::uint32_t id : order) {
+    if (active == 0) break;
+    const ProjectedSplat& s = splats[id];
+    // alpha >= 1/255 requires q <= 2 ln(255 sigma); precompute to skip exp.
+    const float q_max_s = 2.0f * std::log(255.0f * s.opacity);
+    const float c2xy = 2.0f * s.conic.xy;
+
+    const F cx = F::broadcast(s.center.x);
+    const F cy = F::broadcast(s.center.y);
+    const F xx = F::broadcast(s.conic.xx);
+    const F xy2 = F::broadcast(c2xy);
+    const F yy = F::broadcast(s.conic.yy);
+    const F q_max = F::broadcast(q_max_s);
+    const F rgb_r = F::broadcast(s.rgb.x);
+    const F rgb_g = F::broadcast(s.rgb.y);
+    const F rgb_b = F::broadcast(s.rgb.z);
+    M exit_seen = valid_mask(0);
+
+    for (std::size_t k = 0; k < active; k += kW) {
+      const M valid = k + kW <= active ? all_valid : valid_mask(active - k);
+
+      const F dx = F::load(&sc.px[k]) - cx;
+      const F dy = F::load(&sc.py[k]) - cy;
+      // conic.quad(d) with the scalar association:
+      // (xx*dx*dx + (2*xy)*dx*dy) + yy*dy*dy.
+      const F q = ((xx * dx) * dx + (xy2 * dx) * dy) + (yy * dy) * dy;
+
+      // In-range guard (q < 0 guards fp blowup); counted only when passed —
+      // these are the alpha evaluations the datapath performs.
+      const M pass = (!(cmp_gt(q, q_max) | cmp_lt(q, zero))) & valid;
+      if (!pass.any()) continue;
+      acc_pass = acc_pass + as_i32(pass);
+
+      F alpha;
+      if (exp_mode == ExpMode::kExact) {
+        // std::exp per surviving lane: bit-identical to the scalar renderer.
+        for (int i = 0; i < kW; ++i) {
+          if (pass.lane(i)) {
+            const float e = std::exp(-0.5f * q.v[i]);
+            const float a0 = s.opacity * e;
+            alpha.v[i] = (a0 < kAlphaClamp) ? a0 : kAlphaClamp;  // std::min order
+          } else {
+            alpha.v[i] = 0.0f;
+          }
+        }
+      } else {
+        const F e = fast_exp<kW>(F::broadcast(-0.5f) * q);
+        const F a0 = F::broadcast(s.opacity) * e;
+        alpha = select(pass, min_std(alpha_clamp, a0), zero);
+      }
+
+      // Blend mask mirrors `if (alpha < 1/255) continue` (guarded-out lanes
+      // carry alpha = 0 and drop out here).
+      const M blend = (!cmp_lt(alpha, alpha_thresh)) & valid;
+      acc_blend = acc_blend + as_i32(blend);
+      if (!blend.any()) continue;
+
+      const F t0 = F::load(&sc.transmittance[k]);
+      const F r0 = F::load(&sc.r[k]);
+      const F g0 = F::load(&sc.g[k]);
+      const F b0 = F::load(&sc.b[k]);
+      const F w = alpha * t0;
+      const F tn = t0 * (one - alpha);
+      select(blend, r0 + rgb_r * w, r0).store(&sc.r[k]);
+      select(blend, g0 + rgb_g * w, g0).store(&sc.g[k]);
+      select(blend, b0 + rgb_b * w, b0).store(&sc.b[k]);
+      select(blend, tn, t0).store(&sc.transmittance[k]);
+
+      const M exit = cmp_lt(tn, t_thresh) & blend;
+      acc_exit = acc_exit + as_i32(exit);
+      exit_seen = exit_seen | exit;
+    }
+    const bool any_exit = exit_seen.any();
+
+    // Compact out the pixels that hit the transmittance exit this splat,
+    // flushing their colour (they can never change again). Equivalent to the
+    // scalar swap-remove: removal only affects which later splats see them.
+    if (any_exit) {
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < active; ++i) {
+        if (sc.transmittance[i] < kTransmittanceThreshold) {
+          const std::uint32_t p = sc.pixel[i];
+          fb.at(x0 + static_cast<int>(p) % bw, y0 + static_cast<int>(p) / bw) =
+              Vec3{sc.r[i], sc.g[i], sc.b[i]};
+        } else {
+          sc.px[w] = sc.px[i];
+          sc.py[w] = sc.py[i];
+          sc.transmittance[w] = sc.transmittance[i];
+          sc.r[w] = sc.r[i];
+          sc.g[w] = sc.g[i];
+          sc.b[w] = sc.b[i];
+          sc.pixel[w] = sc.pixel[i];
+          ++w;
+        }
+      }
+      active = w;
+    }
+  }
+
+  // Reduce the per-lane statistic accumulators (-1 per hit).
+  stats.alpha_computations = static_cast<std::size_t>(-hsum(acc_pass));
+  stats.blend_ops = static_cast<std::size_t>(-hsum(acc_blend));
+  stats.early_exit_pixels = static_cast<std::size_t>(-hsum(acc_exit));
+
+  // Flush the pixels that never hit the early exit.
+  for (std::size_t i = 0; i < active; ++i) {
+    const std::uint32_t p = sc.pixel[i];
+    fb.at(x0 + static_cast<int>(p) % bw, y0 + static_cast<int>(p) / bw) =
+        Vec3{sc.r[i], sc.g[i], sc.b[i]};
+  }
+  return stats;
+}
+
+void preprocess_chunk_kernel(const PreprocessChunkArgs& args, std::size_t lo, std::size_t hi) {
+  const GaussianCloud& cloud = *args.cloud;
+  const Camera& camera = *args.camera;
+
+  // Scalar camera constants — each is the value the scalar reference
+  // (Camera::in_frustum / project_covariance, compiled contraction-free)
+  // recomputes per Gaussian, hoisted (identical rounding every evaluation).
+  const Mat4& w2c = camera.world_to_camera();
+  const float guard_tx = kFrustumGuard * camera.tan_half_fov_x();
+  const float guard_ty = kFrustumGuard * camera.tan_half_fov_y();
+  const float lim_x = 1.3f * camera.tan_half_fov_x();  // project_covariance clamp
+  const float lim_y = 1.3f * camera.tan_half_fov_y();
+  const Mat3 wrot = w2c.rotation_block();
+
+  const F zero = F::broadcast(0.0f);
+  const F one = F::broadcast(1.0f);
+  const F two = F::broadcast(2.0f);
+  const F near_z = F::broadcast(kFrustumNearZ);
+  const F alpha_thresh = F::broadcast(kAlphaThreshold);
+  const F fx = F::broadcast(camera.fx());
+  const F fy = F::broadcast(camera.fy());
+  const F neg_fx = F::broadcast(-camera.fx());
+  const F neg_fy = F::broadcast(-camera.fy());
+  const F cx = F::broadcast(camera.cx());
+  const F cy = F::broadcast(camera.cy());
+  const F dilation = F::broadcast(kCovarianceDilation);
+
+  for (std::size_t base = lo; base < hi; base += kW) {
+    const std::size_t count = hi - base < static_cast<std::size_t>(kW)
+                                  ? hi - base
+                                  : static_cast<std::size_t>(kW);
+    const M valid = valid_mask(count);
+
+    // AoS -> lane gathers; padding lanes clone the last live entry so every
+    // lane computes on finite data.
+    F posx, posy, posz, opacity, qw, qx, qy, qz, sx, sy, sz;
+    for (int i = 0; i < kW; ++i) {
+      const std::size_t idx =
+          base + (static_cast<std::size_t>(i) < count ? static_cast<std::size_t>(i) : count - 1);
+      const Vec3 p = cloud.position(idx);
+      const Quat q = cloud.rotation(idx);
+      const Vec3 s = cloud.scale(idx);
+      posx.v[i] = p.x;
+      posy.v[i] = p.y;
+      posz.v[i] = p.z;
+      opacity.v[i] = cloud.opacity(idx);
+      qw.v[i] = q.w;
+      qx.v[i] = q.x;
+      qy.v[i] = q.y;
+      qz.v[i] = q.z;
+      sx.v[i] = s.x;
+      sy.v[i] = s.y;
+      sz.v[i] = s.z;
+    }
+
+    // view = world_to_camera.transform_point(pos).
+    F vr[3];
+    for (int row = 0; row < 3; ++row) {
+      vr[row] = ((F::broadcast(w2c.m[row][0]) * posx + F::broadcast(w2c.m[row][1]) * posy) +
+                 F::broadcast(w2c.m[row][2]) * posz) +
+                F::broadcast(w2c.m[row][3]);
+    }
+    const F vx = vr[0];
+    const F vy = vr[1];
+    const F vz = vr[2];
+
+    // Frustum cull: z >= near plane, |x|,|y| within the 1.3x guard band.
+    const F flim_x = F::broadcast(guard_tx) * vz;
+    const F flim_y = F::broadcast(guard_ty) * vz;
+    const M frustum = (!cmp_lt(vz, near_z)) &
+                      (cmp_le(abs_lanes(vx), flim_x) & cmp_le(abs_lanes(vy), flim_y));
+    const M opaque = !cmp_lt(opacity, alpha_thresh);
+    M keep = valid & frustum & opaque;
+    if (!keep.any()) continue;
+
+    // z is only safe to divide by for in-frustum lanes (>= near plane);
+    // culled lanes use 1 and are discarded.
+    const F z_safe = select(frustum, vz, one);
+
+    // --- covariance3d: R(normalized(q)) * diag(s), then M * M^T -----------
+    const F qlen = sqrt_lanes(((qw * qw + qx * qx) + qy * qy) + qz * qz);
+    const M qdegen = cmp_le(qlen, zero);  // normalized(Quat) degenerate branch
+    const F qlen_safe = select(qdegen, one, qlen);
+    const F nw = select(qdegen, one, qw / qlen_safe);
+    const F nx = select(qdegen, zero, qx / qlen_safe);
+    const F ny = select(qdegen, zero, qy / qlen_safe);
+    const F nz = select(qdegen, zero, qz / qlen_safe);
+
+    LaneMat3 rot;
+    rot.m[0][0] = one - two * (ny * ny + nz * nz);
+    rot.m[0][1] = two * (nx * ny - nw * nz);
+    rot.m[0][2] = two * (nx * nz + nw * ny);
+    rot.m[1][0] = two * (nx * ny + nw * nz);
+    rot.m[1][1] = one - two * (nx * nx + nz * nz);
+    rot.m[1][2] = two * (ny * nz - nw * nx);
+    rot.m[2][0] = two * (nx * nz - nw * ny);
+    rot.m[2][1] = two * (ny * nz + nw * nx);
+    rot.m[2][2] = one - two * (nx * nx + ny * ny);
+
+    LaneMat3 msc = rot;
+    for (int row = 0; row < 3; ++row) {
+      msc.m[row][0] = msc.m[row][0] * sx;
+      msc.m[row][1] = msc.m[row][1] * sy;
+      msc.m[row][2] = msc.m[row][2] * sz;
+    }
+    const LaneMat3 cov3 = matmul(msc, transposed(msc));
+
+    // --- project_covariance: Sigma2D = (J W) Sigma3D (J W)^T + dilation ---
+    const F txz = clamp_std(vx / z_safe, F::broadcast(-lim_x), F::broadcast(lim_x));
+    const F tyz = clamp_std(vy / z_safe, F::broadcast(-lim_y), F::broadcast(lim_y));
+    const F tx = txz * z_safe;
+    const F ty = tyz * z_safe;
+    const F inv_z = one / z_safe;
+    const F inv_z2 = inv_z * inv_z;
+
+    LaneMat3 j;
+    j.m[0][0] = fx * inv_z;
+    j.m[0][1] = zero;
+    j.m[0][2] = (neg_fx * tx) * inv_z2;  // -fx * tx * inv_z2
+    j.m[1][0] = zero;
+    j.m[1][1] = fy * inv_z;
+    j.m[1][2] = (neg_fy * ty) * inv_z2;
+    j.m[2][0] = zero;
+    j.m[2][1] = zero;
+    j.m[2][2] = zero;
+
+    LaneMat3 wl;
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) wl.m[r][c] = F::broadcast(wrot.m[r][c]);
+    }
+    const LaneMat3 jw = matmul(j, wl);
+    const LaneMat3 cov2 = matmul(matmul(jw, cov3), transposed(jw));
+    const F cov_xx = cov2.m[0][0] + dilation;
+    const F cov_xy = cov2.m[0][1];
+    const F cov_yy = cov2.m[1][1] + dilation;
+
+    // Degenerate-covariance cull mirrors `if (determinant() <= 0) continue`
+    // (NaN determinants fall through, as in the scalar reference).
+    const F det = cov_xx * cov_yy - cov_xy * cov_xy;
+    const M pd = !cmp_le(det, zero);
+    keep = keep & pd;
+
+    const F det_safe = select(pd, det, one);
+    const F inv_det = one / det_safe;
+    const F conic_xx = cov_yy * inv_det;
+    const F conic_xy = (-cov_xy) * inv_det;
+    const F conic_yy = cov_xx * inv_det;
+
+    const F center_x = (fx * vx) / z_safe + cx;
+    const F center_y = (fy * vy) / z_safe + cy;
+
+    // Footprint extent rho (3-sigma or opacity-aware; the log runs per lane
+    // through libm — exactness is required here, rho feeds binning).
+    F rho;
+    if (args.opacity_aware_rho) {
+      for (int i = 0; i < kW; ++i) {
+        const float op = opacity.v[i];
+        rho.v[i] = (op <= 1.0f / 255.0f) ? 0.0f : 2.0f * std::log(255.0f * op);
+      }
+    } else {
+      rho = F::broadcast(kThreeSigmaRho);
+    }
+    keep = keep & !cmp_le(rho, zero);
+
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!keep.lane(static_cast<int>(i))) continue;
+      const std::size_t idx = base + i;
+      ProjectedSplat s;
+      s.center = Vec2{center_x.v[i], center_y.v[i]};
+      s.cov = Sym2{cov_xx.v[i], cov_xy.v[i], cov_yy.v[i]};
+      s.conic = Sym2{conic_xx.v[i], conic_xy.v[i], conic_yy.v[i]};
+      s.depth = vz.v[i];
+      s.opacity = opacity.v[i];
+      s.rho = rho.v[i];
+      s.rgb = eval_sh_color(cloud.sh_degree(), cloud.sh(idx),
+                            normalized(cloud.position(idx) - args.cam_pos));
+      s.index = static_cast<std::uint32_t>(idx);
+      args.slots[idx] = s;
+      args.keep[idx] = 1;
+    }
+  }
+}
+
+}  // namespace GSTG_SIMD_NS
+}  // namespace gstg

@@ -1,0 +1,8 @@
+// AVX2 kernel backend: 8-wide lanes, compiled with -mavx2 -ffp-contract=off
+// (no -mfma: contraction would break the cross-backend bit-identity
+// invariant; see src/render/CMakeLists.txt). Only built on x86.
+#include "render/simd_kernels.h"
+
+#define GSTG_SIMD_NS simd_avx2
+#define GSTG_SIMD_WIDTH 8
+#include "render/simd_kernels.inl"

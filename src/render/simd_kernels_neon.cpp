@@ -1,0 +1,9 @@
+// NEON kernel backend: 4-wide lanes. NEON is the baseline vector ISA on
+// AArch64, so no extra target flags are needed — only -ffp-contract=off
+// (AArch64 compilers contract aggressively by default, which would break the
+// cross-backend bit-identity invariant). Only built on AArch64.
+#include "render/simd_kernels.h"
+
+#define GSTG_SIMD_NS simd_neon
+#define GSTG_SIMD_WIDTH 4
+#include "render/simd_kernels.inl"

@@ -1,0 +1,8 @@
+// Scalar (lane width 1) kernel backend: the bit-identity reference every
+// wider backend is verified against. Compiled with -ffp-contract=off like
+// all kernel TUs so its arithmetic matches the wider lanes op for op.
+#include "render/simd_kernels.h"
+
+#define GSTG_SIMD_NS simd_scalar
+#define GSTG_SIMD_WIDTH 1
+#include "render/simd_kernels.inl"

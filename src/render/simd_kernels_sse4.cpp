@@ -1,0 +1,7 @@
+// SSE4.2 kernel backend: 4-wide lanes, compiled with -msse4.2
+// -ffp-contract=off (see src/render/CMakeLists.txt). Only built on x86.
+#include "render/simd_kernels.h"
+
+#define GSTG_SIMD_NS simd_sse4
+#define GSTG_SIMD_WIDTH 4
+#include "render/simd_kernels.inl"

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/simd.h"
 #include "geometry/ellipse.h"
 #include "geometry/intersect.h"
 #include "geometry/sym2.h"
@@ -30,6 +31,10 @@ struct RenderConfig {
   /// Per-tile sort algorithm (kAuto = radix for long lists, comparison for
   /// short ones; every choice produces the identical ordering).
   SortAlgo sort_algo = SortAlgo::kAuto;
+  /// SIMD kernel policy for the preprocess/rasterize hot paths: backend
+  /// (kAuto = widest verified, overridable via GSTG_SIMD) and exponential
+  /// mode (kExact keeps bit-identity with the scalar path, the default).
+  SimdPolicy simd;
   /// Worker threads (0 = auto).
   std::size_t threads = 0;
 };
@@ -83,7 +88,11 @@ struct RenderCounters {
   /// 8-bit digits. Well-defined for either algorithm so the paper's
   /// workload-reduction ratios compare like against like.
   double sort_comparison_volume = 0;
-  std::size_t alpha_computations = 0;  ///< alpha evaluated (pixel, splat) pairs
+  /// Alpha evaluations actually performed: (pixel, splat) pairs whose quad
+  /// passed the in-range guard 0 <= q <= 2 ln(255 sigma). Out-of-footprint
+  /// pairs are excluded (they never reach the exp/blend datapath), matching
+  /// the paper's Fig. 7 per-pixel workload definition.
+  std::size_t alpha_computations = 0;
   std::size_t blend_ops = 0;           ///< alpha >= 1/255 blends
   std::size_t early_exit_pixels = 0;   ///< pixels that hit the transmittance exit
   std::size_t pixel_list_work = 0;     ///< Σ over pixels of their tile's list length

@@ -31,7 +31,8 @@ struct BgmUnit {
 struct RasterUnit {
   std::uint32_t filter_len = 0;     ///< entries scanned by the bitmask filter (GS-TG)
   std::uint32_t raster_entries = 0; ///< splats rasterized in this tile
-  std::uint64_t alpha_evals = 0;    ///< measured alpha evaluations (incl. early exit)
+  std::uint64_t alpha_evals = 0;    ///< measured alpha evaluations (in-footprint pairs
+                                    ///< only, after the early exit — the RM datapath work)
   std::uint32_t pixels = 0;
   std::uint32_t sort_unit = 0;      ///< owning group (GS-TG) or own index (others)
 };

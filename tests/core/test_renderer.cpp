@@ -18,6 +18,13 @@
 // Counts every operator new in this binary; the steady-state test asserts
 // the delta across a warmed-up render is zero. Kept trivially simple (malloc
 // pass-through) so it composes with sanitizers.
+//
+// GCC's -Wmismatched-new-delete misfires on replaced global operators at -O2
+// (it pairs an inlined `new` with the malloc inside it, then flags the
+// matching free in `delete`); the pair below is consistent by construction.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 namespace {
 std::atomic<std::size_t> g_alloc_count{0};
 }  // namespace

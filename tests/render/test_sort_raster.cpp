@@ -118,9 +118,58 @@ TEST(RasterizeTile, AlphaThresholdSkipsFarPixels) {
   const std::vector<ProjectedSplat> splats = {flat_splat({4, 4}, 1.0f, 0.9f, {1, 1, 1}, 0, 1.0f)};
   const std::vector<std::uint32_t> order = {0};
   const TileRasterStats stats = rasterize_tile(splats, order, 0, 0, 32, 32, fb);
-  EXPECT_EQ(stats.alpha_computations, 1024u);
-  EXPECT_LT(stats.blend_ops, 200u);  // only pixels near the splat blend
+  // alpha_computations counts only in-footprint quad evaluations
+  // (0 <= q <= 2 ln(255 sigma)); the reference count is enumerated here.
+  const float q_max = 2.0f * std::log(255.0f * 0.9f);
+  std::size_t in_range = 0;
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      const Vec2 d{static_cast<float>(x) + 0.5f - 4.0f, static_cast<float>(y) + 0.5f - 4.0f};
+      const float q = splats[0].conic.quad(d);
+      if (!(q > q_max || q < 0.0f)) ++in_range;
+    }
+  }
+  EXPECT_EQ(stats.alpha_computations, in_range);
+  EXPECT_LT(stats.alpha_computations, 1024u);  // far pixels are not charged
+  EXPECT_LT(stats.blend_ops, 200u);            // only pixels near the splat blend
+  EXPECT_EQ(stats.pixel_list_work, 1024u);     // the Fig. 7 workload still counts all
   EXPECT_EQ(fb.at(31, 31).x, 0.0f);
+}
+
+TEST(RasterizeTile, AlphaCounterPinnedOnKnownScene) {
+  // Regression pin for the counter-semantics fix: the in-range guard is
+  // hoisted above the alpha-computation counter, so sim workloads charge the
+  // RM datapath only for (pixel, splat) pairs it actually evaluates.
+  Framebuffer fb(16, 16);
+  const std::vector<ProjectedSplat> splats = {
+      flat_splat({8.5f, 8.5f}, 1.0f, 0.9f, {1, 0, 0}, 0, 2.0f),
+      flat_splat({2.5f, 2.5f}, 2.0f, 0.5f, {0, 1, 0}, 1, 1.5f),
+  };
+  const std::vector<std::uint32_t> order = {0, 1};
+  const TileRasterStats stats = rasterize_tile(splats, order, 0, 0, 16, 16, fb);
+
+  // Independent scalar reference with the documented semantics.
+  std::size_t expected_alpha = 0, expected_blends = 0;
+  for (const std::uint32_t id : order) {
+    const ProjectedSplat& s = splats[id];
+    const float q_max = 2.0f * std::log(255.0f * s.opacity);
+    for (int y = 0; y < 16; ++y) {
+      for (int x = 0; x < 16; ++x) {
+        const Vec2 d{static_cast<float>(x) + 0.5f - s.center.x,
+                     static_cast<float>(y) + 0.5f - s.center.y};
+        const float q = s.conic.quad(d);
+        if (q > q_max || q < 0.0f) continue;
+        ++expected_alpha;
+        const float alpha = std::min(kAlphaClamp, s.opacity * std::exp(-0.5f * q));
+        if (alpha >= kAlphaThreshold) ++expected_blends;
+      }
+    }
+  }
+  EXPECT_EQ(stats.alpha_computations, expected_alpha);
+  EXPECT_EQ(stats.blend_ops, expected_blends);
+  // Stable absolute pin (16x16 tile, sigma 2 and 1.5 footprints): a change
+  // to either the guard or the counter placement moves this number.
+  EXPECT_EQ(stats.alpha_computations, 183u);
 }
 
 TEST(RasterizeTile, EarlyExitStopsWork) {
