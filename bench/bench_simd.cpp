@@ -26,19 +26,7 @@ namespace {
 using namespace gstg;
 using benchutil::JsonWriter;
 using benchutil::cached_scene;
-
-std::vector<std::string> split_csv(const std::string& csv) {
-  std::vector<std::string> out;
-  std::string::size_type start = 0;
-  while (start <= csv.size()) {
-    const auto comma = csv.find(',', start);
-    const auto end = (comma == std::string::npos) ? csv.size() : comma;
-    if (end > start) out.push_back(csv.substr(start, end - start));
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return out;
-}
+using benchutil::split_csv;
 
 RenderResult best_of(int repeat, const Scene& scene, const GsTgConfig& config) {
   RenderResult best = render_gstg(scene.cloud, scene.camera, config);

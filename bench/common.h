@@ -33,6 +33,21 @@ inline const Scene& cached_scene(const std::string& name) {
   return cache.emplace(name, generate_scene(name)).first->second;
 }
 
+/// Comma-separated list -> items (empty fields dropped), for --scenes=...
+/// flags. Shared by the JSON drivers (run_all, bench_simd, bench_temporal).
+inline std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string::size_type start = 0;
+  while (start <= csv.size()) {
+    const auto comma = csv.find(',', start);
+    const auto end = (comma == std::string::npos) ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 /// Banner describing the workload scale, printed by every bench binary so
 /// recorded outputs are self-describing.
 inline void print_scale_banner(const char* what) {

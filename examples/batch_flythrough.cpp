@@ -4,7 +4,7 @@
 // reports the wall-clock payoff — the serving path of a multi-user
 // deployment.
 //
-// Run:  ./batch_flythrough [--scene=playroom] [--frames=8]
+// Run:  ./batch_flythrough [--scene=playroom] [--frames=8] [--path=orbit|flythrough]
 //                          [--view-threads=0] [--out-prefix=batch]
 #include <cstdio>
 
@@ -15,19 +15,26 @@
 #include "core/renderer.h"
 #include "render/framebuffer.h"
 #include "scene/scene.h"
+#include "temporal/camera_path.h"
 
 int main(int argc, char** argv) {
   using namespace gstg;
   try {
     const CliArgs args(argc, argv);
-    args.require_known({"scene", "frames", "view-threads", "out-prefix"});
+    args.require_known({"scene", "frames", "path", "view-threads", "out-prefix"});
     const Scene scene = generate_scene(args.get("scene", "playroom"), RunScale{8, 64});
     const int frames = args.get_int("frames", 8);
-    const auto cameras = orbit_cameras(scene, frames);
+    const std::string path_kind = args.get("path", "orbit");
+    if (path_kind != "orbit" && path_kind != "flythrough") {
+      throw std::invalid_argument("--path must be orbit or flythrough (got '" + path_kind + "')");
+    }
+    const CameraPath path =
+        path_kind == "flythrough" ? flythrough_path(scene) : open_orbit_path(scene, frames);
+    const auto cameras = path.frames(frames).cameras;
 
-    std::printf("batch-rendering '%s' (%zu Gaussians), %d views at %dx%d\n\n",
-                scene.info.name.c_str(), scene.cloud.size(), frames, scene.render_width,
-                scene.render_height);
+    std::printf("batch-rendering '%s' along %s (%zu Gaussians), %d views at %dx%d\n\n",
+                scene.info.name.c_str(), path.name().c_str(), scene.cloud.size(), frames,
+                scene.render_width, scene.render_height);
 
     GsTgConfig config;  // 16+64, Ellipse+Ellipse
     config.threads = 1;  // parallelism comes from the view level below

@@ -18,6 +18,13 @@ What is compared, and why:
     exact_identical_to_scalar) — these are hard failures regardless of
     tolerance.
 
+  * Temporal reuse ratios (--temporal/--temporal-baseline pair of
+    BENCH_temporal.json files): per scene and camera path, the reuse rate,
+    sorts-avoided ratio, and sort-volume reduction of the cross-frame
+    group-sort cache must stay within tolerance of the committed baseline,
+    a sorts-avoided ratio that was positive must stay positive, and the
+    kVerify / bit-identity flags are hard failures.
+
 Wall-clock fields (*_ms, speedups derived from them) are skipped by default:
 absolute times are machine-dependent and CI runners are noisy. Pass
 --check-times for same-machine comparisons (e.g. refreshing the baseline
@@ -26,12 +33,24 @@ locally and eyeballing the diff).
 Usage:
   check_bench.py <fresh BENCH_software.json> <baseline BENCH_software.json>
                  [--tolerance=0.15] [--check-times]
+                 [--temporal=<fresh BENCH_temporal.json>]
+                 [--temporal-baseline=<baseline BENCH_temporal.json>]
 
 Baseline refresh procedure: see bench/README.md ("Perf-regression gate").
 """
 
 import json
 import sys
+
+TEMPORAL_COUNTER_KEYS = [
+    "groups_total",
+    "groups_reused",
+    "groups_patched",
+    "groups_resorted",
+    "pairs_reused",
+    "pairs_sorted",
+]
+TEMPORAL_RATIO_KEYS = ["reuse_rate", "sorts_avoided", "sort_volume_reduction"]
 
 COUNTER_KEYS = [
     "visible_gaussians",
@@ -90,6 +109,49 @@ def compare_times(gate, where, new, old):
                 gate.check(where, key, new[key], value)
 
 
+def compare_temporal(gate, fresh, baseline):
+    """Gates a fresh BENCH_temporal.json against the committed baseline."""
+    if fresh.get("scale", {}) != baseline.get("scale", {}):
+        gate.require(
+            "temporal",
+            False,
+            f"scale mismatch (fresh {fresh.get('scale')} vs baseline {baseline.get('scale')})",
+        )
+        return
+    fresh_scenes = {s["scene"]: s for s in fresh.get("scenes", [])}
+    for scene in baseline.get("scenes", []):
+        name = scene["scene"]
+        if name not in fresh_scenes:
+            gate.require(f"temporal.{name}", False, "scene missing from fresh output")
+            continue
+        fresh_paths = {p["path"]: p for p in fresh_scenes[name].get("paths", [])}
+        for base_path in scene.get("paths", []):
+            kind = base_path["path"]
+            where = f"temporal.{name}.{kind}"
+            if kind not in fresh_paths:
+                gate.require(where, False, "path missing from fresh output")
+                continue
+            new = fresh_paths[kind]
+            compare_section(gate, where, new, base_path, TEMPORAL_COUNTER_KEYS)
+            compare_section(gate, where, new, base_path, TEMPORAL_RATIO_KEYS)
+            if base_path.get("sorts_avoided", 0) > 0:
+                gate.require(
+                    where,
+                    new.get("sorts_avoided", 0) > 0,
+                    "sorts-avoided ratio dropped to zero (cross-frame reuse broke)",
+                )
+            gate.require(
+                where,
+                new.get("verify_ok") in (True, "true"),
+                "kVerify found a reused order that is not bit-identical to sorting",
+            )
+            gate.require(
+                where,
+                new.get("identical_to_off") in (True, "true"),
+                "temporal output diverged from the per-frame renderer",
+            )
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     opts = [a for a in argv[1:] if a.startswith("--")]
@@ -98,14 +160,23 @@ def main(argv):
         return 1
     tolerance = 0.15
     check_times = False
+    temporal_fresh_path = None
+    temporal_baseline_path = None
     for opt in opts:
         if opt.startswith("--tolerance="):
             tolerance = float(opt.split("=", 1)[1])
         elif opt == "--check-times":
             check_times = True
+        elif opt.startswith("--temporal="):
+            temporal_fresh_path = opt.split("=", 1)[1]
+        elif opt.startswith("--temporal-baseline="):
+            temporal_baseline_path = opt.split("=", 1)[1]
         else:
             print(f"check_bench: unknown option {opt}")
             return 1
+    if (temporal_fresh_path is None) != (temporal_baseline_path is None):
+        print("check_bench: --temporal and --temporal-baseline must be given together")
+        return 1
 
     with open(args[0]) as f:
         fresh = json.load(f)
@@ -174,6 +245,13 @@ def main(argv):
                 backend.get("exact_identical_to_scalar") in (True, "true"),
                 "exact-mode framebuffer diverged from the scalar backend",
             )
+
+    if temporal_fresh_path is not None:
+        with open(temporal_fresh_path) as f:
+            temporal_fresh = json.load(f)
+        with open(temporal_baseline_path) as f:
+            temporal_baseline = json.load(f)
+        compare_temporal(gate, temporal_fresh, temporal_baseline)
 
     if gate.failures:
         print(f"check_bench: FAIL — {len(gate.failures)} violation(s), {gate.checked} checks:")

@@ -1,5 +1,6 @@
 #include "common/runconfig.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -16,6 +17,36 @@ RunScale run_scale_from_env() {
     return RunScale{.resolution_divisor = 8, .gaussian_divisor = 64};
   }
   return RunScale{};  // "bench" default
+}
+
+TemporalMode temporal_mode_from_env(TemporalMode fallback) {
+  const char* env = std::getenv("GSTG_TEMPORAL");
+  if (env == nullptr) return fallback;
+  const std::string value = env;
+  if (value == "off") return TemporalMode::kOff;
+  if (value == "reuse") return TemporalMode::kReuse;
+  if (value == "verify") return TemporalMode::kVerify;
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "gstg: unknown GSTG_TEMPORAL value '%s' (expected off/reuse/verify), "
+                 "keeping the configured mode\n",
+                 env);
+  }
+  return fallback;
+}
+
+const char* to_string(TemporalMode mode) {
+  switch (mode) {
+    case TemporalMode::kOff:
+      return "off";
+    case TemporalMode::kReuse:
+      return "reuse";
+    case TemporalMode::kVerify:
+      return "verify";
+  }
+  return "?";
 }
 
 std::size_t worker_thread_count() {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace gstg {
 
@@ -32,5 +33,23 @@ RunScale run_scale_from_env();
 /// Number of worker threads for the software pipelines (GSTG_THREADS or
 /// hardware_concurrency).
 std::size_t worker_thread_count();
+
+/// Cross-frame group-sort reuse mode of the temporal renderer
+/// (src/temporal/temporal_renderer.h). Lives here, next to the other run
+/// modes, so core's config can carry the knob without depending on the
+/// temporal layer.
+///   kOff    — sort every group every frame (the plain renderer's behaviour)
+///   kReuse  — reuse the previous frame's per-group order when the O(n)
+///             validity check proves it is still the exact sorted order
+///   kVerify — reuse, but also re-sort every group and assert the reused
+///             order is bit-identical (the lossless-invariant audit mode)
+enum class TemporalMode : std::uint8_t { kOff, kReuse, kVerify };
+
+/// Reads GSTG_TEMPORAL from the environment ("off" / "reuse" / "verify").
+/// Unset returns `fallback`; an unknown value is ignored with a one-time
+/// warning, mirroring the GSTG_SIMD override semantics.
+TemporalMode temporal_mode_from_env(TemporalMode fallback);
+
+[[nodiscard]] const char* to_string(TemporalMode mode);
 
 }  // namespace gstg

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "common/runconfig.h"
 #include "geometry/intersect.h"
 #include "render/sort_keys.h"
 #include "render/types.h"
@@ -32,6 +33,12 @@ struct GsTgConfig {
   /// backend resolves to the widest verified one (GSTG_SIMD overrides);
   /// exact exponential mode (the default) keeps bit-identity with scalar.
   SimdPolicy simd;
+  /// Cross-frame group-sort reuse mode of the temporal renderer
+  /// (src/temporal/temporal_renderer.h; GSTG_TEMPORAL overrides). kOff by
+  /// default so the one-shot and batch paths are untouched; every mode is
+  /// pixel-exact — reuse only happens when the cached order is provably the
+  /// sorted order, and kVerify re-sorts to audit that proof.
+  TemporalMode temporal = TemporalMode::kOff;
   std::size_t threads = 0;  ///< 0 = auto
 
   /// The RenderConfig this GS-TG config implies for the stages shared with

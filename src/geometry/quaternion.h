@@ -2,6 +2,7 @@
 // convention (w, x, y, z storage order as in the INRIA reference code).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 
 #include "geometry/mat.h"
@@ -22,6 +23,10 @@ inline float length(Quat q) {
   return std::sqrt(q.w * q.w + q.x * q.x + q.y * q.y + q.z * q.z);
 }
 
+constexpr float dot(Quat a, Quat b) {
+  return a.w * b.w + a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
 inline Quat normalized(Quat q) {
   const float len = length(q);
   if (len <= 0.0f) return Quat{};  // identity for degenerate input
@@ -39,6 +44,34 @@ inline Mat3 rotation_matrix(Quat q) {
   r.m[1] = {2.0f * (x * y + w * z), 1.0f - 2.0f * (x * x + z * z), 2.0f * (y * z - w * x)};
   r.m[2] = {2.0f * (x * z - w * y), 2.0f * (y * z + w * x), 1.0f - 2.0f * (x * x + y * y)};
   return r;
+}
+
+/// Spherical linear interpolation between unit quaternions along the
+/// shortest arc (b is negated when dot(a, b) < 0 — q and -q are the same
+/// rotation). Endpoints are exact: t <= 0 returns a and t >= 1 returns b
+/// bit-for-bit, so keyframe poses survive a round trip through a sampled
+/// camera path. The result is re-normalised, and nearly-parallel inputs
+/// fall back to normalised lerp (the sin denominator would be degenerate).
+inline Quat slerp(Quat a, Quat b, float t) {
+  if (t <= 0.0f) return a;
+  if (t >= 1.0f) return b;
+  float d = dot(a, b);
+  Quat c = b;
+  if (d < 0.0f) {
+    c = {-b.w, -b.x, -b.y, -b.z};
+    d = -d;
+  }
+  if (d > 0.9995f) {
+    // Nearly parallel: lerp, then normalise.
+    return normalized(Quat{a.w + (c.w - a.w) * t, a.x + (c.x - a.x) * t, a.y + (c.y - a.y) * t,
+                           a.z + (c.z - a.z) * t});
+  }
+  const float theta = std::acos(std::min(d, 1.0f));
+  const float s = std::sin(theta);
+  const float wa = std::sin((1.0f - t) * theta) / s;
+  const float wb = std::sin(t * theta) / s;
+  return normalized(Quat{wa * a.w + wb * c.w, wa * a.x + wb * c.x, wa * a.y + wb * c.y,
+                         wa * a.z + wb * c.z});
 }
 
 /// Axis-angle constructor (axis need not be unit length).

@@ -1,11 +1,66 @@
-// Image-quality metrics beyond plain PSNR: windowed SSIM on luminance,
-// used by the fp16-fidelity experiment (DESIGN.md section 6) and available
-// to library users validating lossless claims on real checkpoints.
+// Rendering metrics beyond the raw counters in render/types.h: windowed
+// SSIM on luminance (the fp16-fidelity experiment, DESIGN.md section 6),
+// per-channel PSNR, and the cross-frame sort-reuse statistics the temporal
+// renderer (src/temporal/) reports per frame and per sequence.
 #pragma once
+
+#include <cstddef>
 
 #include "render/framebuffer.h"
 
 namespace gstg {
+
+/// Cross-frame group-sort reuse counters of the temporal renderer. Per
+/// group and frame there are three outcomes: the cached order is reused
+/// verbatim (`groups_reused`), the cached order of the splats still in the
+/// group is kept and only the newcomers are sorted and merged in
+/// (`groups_patched`), or the cached relative order broke and the group
+/// fell back to a full sort (`groups_resorted`). All fields are
+/// deterministic functions of the frame sequence (reuse decisions do not
+/// depend on thread count), so sequences can be compared across machines
+/// like the other work counters.
+struct TemporalStats {
+  std::size_t frames = 0;            ///< frames merged into this record
+  std::size_t groups_total = 0;      ///< non-empty groups examined
+  std::size_t groups_trivial = 0;    ///< <= 1 entry: no sort either way
+  std::size_t groups_reused = 0;     ///< cached order reused verbatim (no newcomers)
+  std::size_t groups_patched = 0;    ///< stayer order kept, newcomers sorted + merged
+  std::size_t groups_resorted = 0;   ///< full per-group sort ran (incl. cold frames)
+  std::size_t groups_evicted = 0;    ///< membership churned among groups whose validity
+                                     ///< walk completed (order-broken walks truncate
+                                     ///< before churn is knowable and are not counted)
+  std::size_t pairs_reused = 0;      ///< entries that rode a cached order (no sort)
+  std::size_t pairs_sorted = 0;      ///< entries that went through a sort
+  std::size_t verify_mismatches = 0; ///< kVerify: reused orders that failed the audit
+
+  /// Share of non-trivial groups whose cached order survived (verbatim or
+  /// patched) instead of being fully re-sorted.
+  [[nodiscard]] double reuse_rate() const {
+    const std::size_t decided = groups_reused + groups_patched + groups_resorted;
+    return decided ? static_cast<double>(groups_reused + groups_patched) /
+                         static_cast<double>(decided)
+                   : 0.0;
+  }
+  /// Share of sort-pair work avoided: entries that would have been sorted
+  /// but rode on a cached order instead.
+  [[nodiscard]] double sorts_avoided_ratio() const {
+    const std::size_t pairs = pairs_reused + pairs_sorted;
+    return pairs ? static_cast<double>(pairs_reused) / static_cast<double>(pairs) : 0.0;
+  }
+
+  void merge(const TemporalStats& other) {
+    frames += other.frames;
+    groups_total += other.groups_total;
+    groups_trivial += other.groups_trivial;
+    groups_reused += other.groups_reused;
+    groups_patched += other.groups_patched;
+    groups_resorted += other.groups_resorted;
+    groups_evicted += other.groups_evicted;
+    pairs_reused += other.pairs_reused;
+    pairs_sorted += other.pairs_sorted;
+    verify_mismatches += other.verify_mismatches;
+  }
+};
 
 /// Mean SSIM over 8x8 windows (stride 4) on Rec.601 luminance, standard
 /// constants C1 = (0.01)^2 and C2 = (0.03)^2 with a peak of 1.0. Returns a

@@ -1,13 +1,14 @@
 #include "sim/sequence.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "sim/workload.h"
 
 namespace gstg {
 
-SequenceReport simulate_gstg_sequence(const GaussianCloud& cloud,
-                                      const std::vector<Camera>& cameras,
+SequenceReport simulate_gstg_sequence(const GaussianCloud& cloud, std::span<const Camera> cameras,
                                       const GsTgConfig& config, const HwConfig& hw,
                                       const std::string& scene_name) {
   if (cameras.empty()) {
@@ -15,6 +16,7 @@ SequenceReport simulate_gstg_sequence(const GaussianCloud& cloud,
   }
   SequenceReport report;
   report.frames.reserve(cameras.size());
+  report.frame_sort_pairs.reserve(cameras.size());
   const PipelineModel model = gstg_pipeline_model();
 
   for (std::size_t f = 0; f < cameras.size(); ++f) {
@@ -23,6 +25,9 @@ SequenceReport simulate_gstg_sequence(const GaussianCloud& cloud,
     if (f > 0) {
       w.param_bytes = 0;  // parameters resident after the first frame
     }
+    std::size_t sort_pairs = 0;
+    for (const SortUnit& unit : w.sorts) sort_pairs += unit.n;
+    report.frame_sort_pairs.push_back(sort_pairs);
     report.frames.push_back(simulate_frame(w, model, hw));
     report.total_cycles += report.frames.back().total_cycles;
     report.total_energy_j += report.frames.back().energy.total_j();
@@ -30,6 +35,22 @@ SequenceReport simulate_gstg_sequence(const GaussianCloud& cloud,
   const double mean_cycles = report.total_cycles / static_cast<double>(cameras.size());
   report.sustained_fps = hw.frequency_hz / mean_cycles;
   report.energy_per_frame_j = report.total_energy_j / static_cast<double>(cameras.size());
+
+  // Sorting-workload coherence along the sequence.
+  double sum_pairs = 0.0;
+  for (const std::size_t pairs : report.frame_sort_pairs) {
+    sum_pairs += static_cast<double>(pairs);
+  }
+  report.mean_sort_pairs = sum_pairs / static_cast<double>(report.frame_sort_pairs.size());
+  if (report.frame_sort_pairs.size() >= 2 && report.mean_sort_pairs > 0.0) {
+    double sum_delta = 0.0;
+    for (std::size_t f = 1; f < report.frame_sort_pairs.size(); ++f) {
+      sum_delta += std::fabs(static_cast<double>(report.frame_sort_pairs[f]) -
+                             static_cast<double>(report.frame_sort_pairs[f - 1]));
+    }
+    const double mean_delta = sum_delta / static_cast<double>(report.frame_sort_pairs.size() - 1);
+    report.sort_pair_stability = std::max(0.0, 1.0 - mean_delta / report.mean_sort_pairs);
+  }
   return report;
 }
 

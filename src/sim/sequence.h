@@ -5,6 +5,7 @@
 // FPS estimate an AR/VR integrator needs.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,14 +23,22 @@ struct SequenceReport {
   double total_energy_j = 0.0;
   double energy_per_frame_j = 0.0;
 
+  // Cross-frame workload statistics: how stable the sorting workload is
+  // along the sequence — the coherence budget a cross-frame reuse layer
+  // (src/temporal/) can spend.
+  std::vector<std::size_t> frame_sort_pairs;  ///< Σ sort-list lengths per frame
+  double mean_sort_pairs = 0.0;
+  /// 1 − mean |Δ sort_pairs between consecutive frames| / mean sort_pairs;
+  /// 1.0 for a perfectly stable sequence, 0 with fewer than two frames.
+  double sort_pair_stability = 0.0;
+
   [[nodiscard]] std::size_t frame_count() const { return frames.size(); }
 };
 
 /// Simulates `cameras.size()` GS-TG frames over the cloud. Parameters are
 /// charged to DRAM only on the first frame (resident thereafter); all other
 /// traffic recurs per frame.
-SequenceReport simulate_gstg_sequence(const GaussianCloud& cloud,
-                                      const std::vector<Camera>& cameras,
+SequenceReport simulate_gstg_sequence(const GaussianCloud& cloud, std::span<const Camera> cameras,
                                       const GsTgConfig& config, const HwConfig& hw,
                                       const std::string& scene_name);
 

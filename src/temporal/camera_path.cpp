@@ -1,0 +1,168 @@
+#include "temporal/camera_path.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace gstg {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+void validate_intrinsics(const CameraIntrinsics& intrinsics) {
+  if (intrinsics.width <= 0 || intrinsics.height <= 0) {
+    throw std::invalid_argument("CameraPath: non-positive image size");
+  }
+  if (!(intrinsics.fov_x > 0.0f) || intrinsics.fov_x >= 3.14159f) {
+    throw std::invalid_argument("CameraPath: field of view out of range");
+  }
+}
+
+/// Intrinsics of an existing camera (fov recovered from fx).
+CameraIntrinsics intrinsics_of(const Camera& camera) {
+  return {camera.width(), camera.height(), 2.0f * std::atan(camera.tan_half_fov_x())};
+}
+
+}  // namespace
+
+CameraKeyframe keyframe_look_at(Vec3 eye, Vec3 target, Vec3 up_hint) {
+  const Mat3 r = look_at(eye, target, up_hint).rotation_block();
+  // from_basis expects the matrix columns; rotation_matrix(q) then
+  // reproduces r, so keyframe_camera inverts this conversion exactly up to
+  // quaternion round-off.
+  return {eye, from_basis({r.m[0][0], r.m[1][0], r.m[2][0]}, {r.m[0][1], r.m[1][1], r.m[2][1]},
+                          {r.m[0][2], r.m[1][2], r.m[2][2]})};
+}
+
+Camera keyframe_camera(const CameraKeyframe& key, const CameraIntrinsics& intrinsics) {
+  const Mat3 r = rotation_matrix(key.orientation);
+  Mat4 m = Mat4::identity();
+  for (int row = 0; row < 3; ++row) {
+    const Vec3 axis{r.m[row][0], r.m[row][1], r.m[row][2]};
+    m.m[row] = {axis.x, axis.y, axis.z, -dot(axis, key.eye)};
+  }
+  return Camera::from_fov(intrinsics.width, intrinsics.height, intrinsics.fov_x, m);
+}
+
+CameraPath::CameraPath(std::string name, CameraIntrinsics intrinsics,
+                       std::vector<CameraKeyframe> keys)
+    : name_(std::move(name)), intrinsics_(intrinsics), keys_(std::move(keys)) {
+  validate_intrinsics(intrinsics_);
+  if (keys_.empty()) {
+    throw std::invalid_argument("CameraPath: at least one keyframe required");
+  }
+}
+
+CameraKeyframe CameraPath::pose(float t) const {
+  if (keys_.size() == 1) return keys_.front();
+  t = std::clamp(t, 0.0f, 1.0f);
+  const float s = t * static_cast<float>(keys_.size() - 1);
+  const std::size_t i = static_cast<std::size_t>(s);
+  if (i >= keys_.size() - 1) return keys_.back();  // t == 1: exact endpoint
+  const float u = s - static_cast<float>(i);
+  if (u == 0.0f) return keys_[i];  // on a keyframe: exact pose
+  const CameraKeyframe& a = keys_[i];
+  const CameraKeyframe& b = keys_[i + 1];
+  return {a.eye + (b.eye - a.eye) * u, slerp(a.orientation, b.orientation, u)};
+}
+
+Camera CameraPath::sample(float t) const { return keyframe_camera(pose(t), intrinsics_); }
+
+FrameSequence CameraPath::frames(int count) const {
+  if (count <= 0) {
+    throw std::invalid_argument("CameraPath::frames: count must be positive");
+  }
+  FrameSequence sequence;
+  sequence.name = name_;
+  sequence.cameras.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const float t =
+        count == 1 ? 0.0f : static_cast<float>(i) / static_cast<float>(count - 1);
+    sequence.cameras.push_back(sample(t));
+  }
+  return sequence;
+}
+
+FrameSequence tour_frames(const CameraPath& path, int move_frames, int hold_frames) {
+  if (hold_frames < 1 || move_frames < 0) {
+    throw std::invalid_argument("tour_frames: hold_frames >= 1 and move_frames >= 0 required");
+  }
+  const std::size_t legs = path.keyframe_count() - 1;
+  FrameSequence sequence;
+  sequence.name = path.name() + "-tour";
+  sequence.cameras.reserve(path.keyframe_count() * static_cast<std::size_t>(hold_frames) +
+                           legs * static_cast<std::size_t>(move_frames));
+  for (std::size_t k = 0; k < path.keyframe_count(); ++k) {
+    const Camera at_key = keyframe_camera(path.keyframe(k), path.intrinsics());
+    for (int h = 0; h < hold_frames; ++h) sequence.cameras.push_back(at_key);
+    if (k + 1 < path.keyframe_count()) {
+      const float t0 = legs == 0 ? 0.0f : static_cast<float>(k) / static_cast<float>(legs);
+      const float leg = legs == 0 ? 0.0f : 1.0f / static_cast<float>(legs);
+      for (int m = 1; m <= move_frames; ++m) {
+        const float u = static_cast<float>(m) / static_cast<float>(move_frames + 1);
+        sequence.cameras.push_back(path.sample(t0 + u * leg));
+      }
+    }
+  }
+  return sequence;
+}
+
+CameraPath CameraPath::orbit(std::string name, CameraIntrinsics intrinsics, Vec3 focus,
+                             Vec3 eye0, float arc_turns, int keyframes) {
+  if (keyframes < 2) {
+    throw std::invalid_argument("CameraPath::orbit: at least two keyframes required");
+  }
+  const Vec3 offset = eye0 - focus;
+  const float radius = std::sqrt(offset.x * offset.x + offset.z * offset.z);
+  const float base_angle = std::atan2(offset.z, offset.x);
+  std::vector<CameraKeyframe> keys;
+  keys.reserve(static_cast<std::size_t>(keyframes));
+  for (int k = 0; k < keyframes; ++k) {
+    const float angle = base_angle + 2.0f * kPi * arc_turns * static_cast<float>(k) /
+                                         static_cast<float>(keyframes - 1);
+    const Vec3 eye{focus.x + radius * std::cos(angle), eye0.y,
+                   focus.z + radius * std::sin(angle)};
+    keys.push_back(keyframe_look_at(eye, focus));
+  }
+  return CameraPath(std::move(name), intrinsics, std::move(keys));
+}
+
+CameraPath orbit_path(const Scene& scene, float arc_turns, int keyframes) {
+  return CameraPath::orbit(scene.info.name + "-orbit", intrinsics_of(scene.camera), scene.focus,
+                           scene.camera.position(), arc_turns, keyframes);
+}
+
+CameraPath open_orbit_path(const Scene& scene, int frames) {
+  const int keyframes = std::max(frames, 2);
+  return orbit_path(scene, 1.0f - 1.0f / static_cast<float>(keyframes), keyframes);
+}
+
+CameraPath flythrough_path(const Scene& scene) {
+  const Vec3 focus = scene.focus;
+  const Vec3 eye0 = scene.camera.position();
+  const Vec3 offset = eye0 - focus;
+  const float reach = length(offset);
+
+  // Dolly toward the focus while yawing around it and gently bobbing; all
+  // parameters are relative to the evaluation pose, so keyframes are
+  // identical at every RunScale.
+  const auto swing = [&](float scale, float yaw, float lift) {
+    const float c = std::cos(yaw);
+    const float s = std::sin(yaw);
+    const Vec3 rotated{offset.x * c - offset.z * s, offset.y, offset.x * s + offset.z * c};
+    return focus + rotated * scale + Vec3{0.0f, lift * reach, 0.0f};
+  };
+  std::vector<CameraKeyframe> keys = {
+      keyframe_look_at(swing(1.00f, 0.00f, 0.000f), focus),
+      keyframe_look_at(swing(0.86f, 0.10f, 0.020f), focus),
+      keyframe_look_at(swing(0.74f, 0.19f, 0.034f), focus),
+      keyframe_look_at(swing(0.63f, 0.27f, 0.030f), focus),
+      keyframe_look_at(swing(0.55f, 0.33f, 0.015f), focus),
+  };
+  return CameraPath(scene.info.name + "-flythrough", intrinsics_of(scene.camera),
+                    std::move(keys));
+}
+
+}  // namespace gstg

@@ -1,0 +1,120 @@
+// Camera paths and frame sequences: the first-class multi-frame workload
+// layer of the temporal subsystem. A CameraPath is a list of keyframe poses
+// (eye + world->camera orientation quaternion) with piecewise-linear eye
+// interpolation and shortest-arc slerp on orientation; a FrameSequence is a
+// path sampled at a frame count. Both are pure functions of their inputs —
+// sampling the same path twice, at any RunScale, yields bit-identical poses
+// (only the intrinsics change with resolution), which is what lets the
+// flythrough workloads, benches, and temporal-reuse tests agree on the
+// exact camera trajectory.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "camera/camera.h"
+#include "geometry/quaternion.h"
+#include "scene/scene.h"
+
+namespace gstg {
+
+/// Shared intrinsics of every frame sampled from a path (square pixels,
+/// principal point at the centre — the Camera::from_fov model).
+struct CameraIntrinsics {
+  int width = 0;
+  int height = 0;
+  float fov_x = 1.2f;  ///< horizontal field of view, radians
+};
+
+/// One keyframe pose: camera centre in world space plus the world->camera
+/// rotation as a unit quaternion (slerp-friendly form of the look_at
+/// rotation block).
+struct CameraKeyframe {
+  Vec3 eye;
+  Quat orientation;
+};
+
+/// Keyframe looking from `eye` toward `target` (OpenCV convention, same as
+/// camera/camera.h's look_at).
+CameraKeyframe keyframe_look_at(Vec3 eye, Vec3 target, Vec3 up_hint = {0.0f, -1.0f, 0.0f});
+
+/// The Camera a keyframe pose describes under the given intrinsics.
+Camera keyframe_camera(const CameraKeyframe& key, const CameraIntrinsics& intrinsics);
+
+/// A sampled camera path: named so bench/test records are self-describing,
+/// carrying one Camera per frame.
+struct FrameSequence {
+  std::string name;
+  std::vector<Camera> cameras;
+
+  [[nodiscard]] std::size_t frame_count() const { return cameras.size(); }
+  [[nodiscard]] std::span<const Camera> views() const { return cameras; }
+};
+
+/// An interpolatable sequence of keyframe poses under fixed intrinsics.
+/// Sampling is deterministic and endpoint-exact: t = 0 and t = 1 reproduce
+/// the first and last keyframe pose bit-for-bit.
+class CameraPath {
+ public:
+  /// Throws std::invalid_argument on an empty keyframe list or degenerate
+  /// intrinsics.
+  CameraPath(std::string name, CameraIntrinsics intrinsics, std::vector<CameraKeyframe> keys);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const CameraIntrinsics& intrinsics() const { return intrinsics_; }
+  [[nodiscard]] std::size_t keyframe_count() const { return keys_.size(); }
+  [[nodiscard]] const CameraKeyframe& keyframe(std::size_t i) const { return keys_[i]; }
+
+  /// Pose at t in [0, 1] (clamped): linear eye interpolation + shortest-arc
+  /// slerp between the surrounding keyframes.
+  [[nodiscard]] CameraKeyframe pose(float t) const;
+
+  /// Camera at t under the path intrinsics.
+  [[nodiscard]] Camera sample(float t) const;
+
+  /// `count` frames at uniform parameters (endpoints exact; count == 1
+  /// samples t = 0). Throws std::invalid_argument for count <= 0.
+  [[nodiscard]] FrameSequence frames(int count) const;
+
+  /// Keyframes on a circular orbit of `arc_turns` revolutions (1 = full
+  /// circle) around `focus`, starting at `eye0` and keeping its height;
+  /// every keyframe looks at the focus. `keyframes` >= 2 poses are placed
+  /// uniformly along the arc.
+  static CameraPath orbit(std::string name, CameraIntrinsics intrinsics, Vec3 focus, Vec3 eye0,
+                          float arc_turns = 1.0f, int keyframes = 16);
+
+ private:
+  std::string name_;
+  CameraIntrinsics intrinsics_;
+  std::vector<CameraKeyframe> keys_;
+};
+
+/// Tour sampling: `hold_frames` identical frames at every keyframe pose
+/// with `move_frames` interpolated frames strictly between consecutive
+/// keyframes — the stop-and-look motion profile of guided tours and
+/// user-driven navigation (total frames: K·hold + (K−1)·move). Hold frames
+/// repeat the exact keyframe camera, which is where cross-frame sort reuse
+/// pays; move frames carry genuine motion. Throws std::invalid_argument
+/// when hold_frames < 1 or move_frames < 0.
+FrameSequence tour_frames(const CameraPath& path, int move_frames, int hold_frames);
+
+/// Orbit path around the scene's evaluation viewpoint — the CameraPath form
+/// of scene/scene.h's orbit_cameras loop. Poses depend only on the scene's
+/// focus and evaluation eye (both RunScale-invariant); intrinsics follow
+/// the scene's render resolution.
+CameraPath orbit_path(const Scene& scene, float arc_turns = 1.0f, int keyframes = 16);
+
+/// Open orbit for uniform N-frame sampling: arc (N−1)/N with one keyframe
+/// per frame, so CameraPath::frames(N) yields N *distinct* poses exactly on
+/// the circle at the angular spacing 2π·i/N — what orbit_cameras produced
+/// (a closed orbit would duplicate the first pose as the last frame).
+CameraPath open_orbit_path(const Scene& scene, int frames);
+
+/// Gentle dolly toward the scene focus with a lateral sweep — the
+/// flythrough workload: consecutive frames see slowly-shifting depth
+/// orders, the coherence the temporal renderer exploits. Deterministic per
+/// scene, RunScale-invariant poses.
+CameraPath flythrough_path(const Scene& scene);
+
+}  // namespace gstg

@@ -1,0 +1,200 @@
+// Camera-path interpolation: endpoint exactness, determinism across
+// RunScale, slerp normalization/shortest-arc behaviour, and the generator
+// contracts the flythrough workloads rely on.
+#include "temporal/camera_path.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/quaternion.h"
+#include "scene/scene.h"
+
+namespace gstg {
+namespace {
+
+bool quat_bits_equal(Quat a, Quat b) {
+  return a.w == b.w && a.x == b.x && a.y == b.y && a.z == b.z;
+}
+
+bool vec_bits_equal(Vec3 a, Vec3 b) { return a.x == b.x && a.y == b.y && a.z == b.z; }
+
+bool pose_bits_equal(const CameraKeyframe& a, const CameraKeyframe& b) {
+  return vec_bits_equal(a.eye, b.eye) && quat_bits_equal(a.orientation, b.orientation);
+}
+
+float max_mat_diff(const Mat4& a, const Mat4& b) {
+  float max_diff = 0.0f;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      max_diff = std::max(max_diff, std::fabs(a.m[i][j] - b.m[i][j]));
+    }
+  }
+  return max_diff;
+}
+
+CameraPath two_key_path() {
+  return CameraPath("test", {128, 96, 1.2f},
+                    {keyframe_look_at({5.0f, 2.0f, 5.0f}, {0.0f, 1.0f, 0.0f}),
+                     keyframe_look_at({-4.0f, 3.0f, 6.0f}, {0.0f, 1.0f, 0.0f})});
+}
+
+TEST(CameraPath, EndpointsAreExact) {
+  const CameraPath path = two_key_path();
+  EXPECT_TRUE(pose_bits_equal(path.pose(0.0f), path.keyframe(0)));
+  EXPECT_TRUE(pose_bits_equal(path.pose(1.0f), path.keyframe(1)));
+  // Out-of-range parameters clamp to the endpoints.
+  EXPECT_TRUE(pose_bits_equal(path.pose(-0.5f), path.keyframe(0)));
+  EXPECT_TRUE(pose_bits_equal(path.pose(2.0f), path.keyframe(1)));
+}
+
+TEST(CameraPath, InteriorKeyframesAreExactAtTheirParameter) {
+  std::vector<CameraKeyframe> keys;
+  for (int k = 0; k < 5; ++k) {
+    keys.push_back(keyframe_look_at({static_cast<float>(k), 2.0f, 5.0f}, {0.0f, 0.0f, 0.0f}));
+  }
+  const CameraPath path("test", {128, 96, 1.2f}, keys);
+  for (int k = 0; k < 5; ++k) {
+    const float t = static_cast<float>(k) / 4.0f;
+    EXPECT_TRUE(pose_bits_equal(path.pose(t), path.keyframe(static_cast<std::size_t>(k))))
+        << "keyframe " << k;
+  }
+}
+
+TEST(CameraPath, FramesSampleEndpointsExactly) {
+  const CameraPath path = two_key_path();
+  const FrameSequence sequence = path.frames(7);
+  ASSERT_EQ(sequence.frame_count(), 7u);
+  const Camera first = keyframe_camera(path.keyframe(0), path.intrinsics());
+  const Camera last = keyframe_camera(path.keyframe(1), path.intrinsics());
+  EXPECT_EQ(max_mat_diff(sequence.cameras.front().world_to_camera(), first.world_to_camera()),
+            0.0f);
+  EXPECT_EQ(max_mat_diff(sequence.cameras.back().world_to_camera(), last.world_to_camera()),
+            0.0f);
+}
+
+TEST(CameraPath, InvalidInputsThrow) {
+  EXPECT_THROW(CameraPath("empty", {128, 96, 1.2f}, {}), std::invalid_argument);
+  EXPECT_THROW(CameraPath("bad-size", {0, 96, 1.2f}, {CameraKeyframe{}}),
+               std::invalid_argument);
+  EXPECT_THROW(two_key_path().frames(0), std::invalid_argument);
+  EXPECT_THROW(CameraPath::orbit("orbit", {128, 96, 1.2f}, {}, {1.0f, 0.0f, 0.0f}, 1.0f, 1),
+               std::invalid_argument);
+}
+
+TEST(CameraPath, SingleFrameSamplesTheStart) {
+  const CameraPath path = two_key_path();
+  const FrameSequence sequence = path.frames(1);
+  ASSERT_EQ(sequence.frame_count(), 1u);
+  const Camera first = keyframe_camera(path.keyframe(0), path.intrinsics());
+  EXPECT_EQ(max_mat_diff(sequence.cameras.front().world_to_camera(), first.world_to_camera()),
+            0.0f);
+}
+
+TEST(CameraPath, TourFramesHoldAtKeyframesAndMoveBetween) {
+  const CameraPath path = two_key_path();
+  const FrameSequence tour = tour_frames(path, 3, 2);
+  // 2 keyframes x 2 hold + 1 leg x 3 move.
+  ASSERT_EQ(tour.frame_count(), 7u);
+  // Hold frames repeat the exact keyframe camera.
+  EXPECT_EQ(max_mat_diff(tour.cameras[0].world_to_camera(), tour.cameras[1].world_to_camera()),
+            0.0f);
+  EXPECT_EQ(max_mat_diff(tour.cameras[5].world_to_camera(), tour.cameras[6].world_to_camera()),
+            0.0f);
+  const Camera first = keyframe_camera(path.keyframe(0), path.intrinsics());
+  EXPECT_EQ(max_mat_diff(tour.cameras[0].world_to_camera(), first.world_to_camera()), 0.0f);
+  // Move frames differ from the holds around them.
+  EXPECT_GT(max_mat_diff(tour.cameras[2].world_to_camera(), tour.cameras[1].world_to_camera()),
+            0.0f);
+  EXPECT_THROW(tour_frames(path, 1, 0), std::invalid_argument);
+  EXPECT_THROW(tour_frames(path, -1, 1), std::invalid_argument);
+}
+
+TEST(CameraPath, PosesAreRunScaleInvariant) {
+  // The same scene at two scales: intrinsics shrink with resolution, but
+  // the keyframe poses and every sampled pose must be bit-identical.
+  const Scene coarse = generate_scene("train", RunScale{8, 64});
+  const Scene fine = generate_scene("train", RunScale{4, 16});
+  const CameraPath a = orbit_path(coarse, 1.0f, 12);
+  const CameraPath b = orbit_path(fine, 1.0f, 12);
+  ASSERT_EQ(a.keyframe_count(), b.keyframe_count());
+  for (std::size_t k = 0; k < a.keyframe_count(); ++k) {
+    EXPECT_TRUE(pose_bits_equal(a.keyframe(k), b.keyframe(k))) << "keyframe " << k;
+  }
+  for (const float t : {0.0f, 0.13f, 0.5f, 0.77f, 1.0f}) {
+    EXPECT_TRUE(pose_bits_equal(a.pose(t), b.pose(t))) << "t=" << t;
+  }
+  const CameraPath fa = flythrough_path(coarse);
+  const CameraPath fb = flythrough_path(fine);
+  ASSERT_EQ(fa.keyframe_count(), fb.keyframe_count());
+  for (std::size_t k = 0; k < fa.keyframe_count(); ++k) {
+    EXPECT_TRUE(pose_bits_equal(fa.keyframe(k), fb.keyframe(k))) << "keyframe " << k;
+  }
+}
+
+TEST(CameraPath, GeneratorsLookAtTheFocus) {
+  const Scene scene = generate_scene("playroom", RunScale{8, 64});
+  for (const CameraPath& path : {orbit_path(scene, 1.0f, 8), flythrough_path(scene)}) {
+    const FrameSequence sequence = path.frames(5);
+    for (std::size_t f = 0; f < sequence.frame_count(); ++f) {
+      const Vec3 view = sequence.cameras[f].to_view(scene.focus);
+      // The focus sits in front of the camera, close to the optical axis.
+      EXPECT_GT(view.z, 0.0f) << path.name() << " frame " << f;
+      EXPECT_LT(std::fabs(view.x), 0.05f * view.z) << path.name() << " frame " << f;
+      EXPECT_LT(std::fabs(view.y), 0.05f * view.z) << path.name() << " frame " << f;
+    }
+  }
+}
+
+TEST(Slerp, EndpointsExactAndUnitLength) {
+  const Quat a = normalized(Quat{0.9f, 0.1f, -0.3f, 0.2f});
+  const Quat b = normalized(Quat{-0.2f, 0.8f, 0.4f, -0.1f});
+  EXPECT_TRUE(quat_bits_equal(slerp(a, b, 0.0f), a));
+  EXPECT_TRUE(quat_bits_equal(slerp(a, b, 1.0f), b));
+  for (const float t : {0.1f, 0.25f, 0.5f, 0.75f, 0.9f}) {
+    EXPECT_NEAR(length(slerp(a, b, t)), 1.0f, 1e-5f) << "t=" << t;
+  }
+}
+
+TEST(Slerp, ShortestArcIgnoresQuaternionSign) {
+  // q and -q are the same rotation; slerp must interpolate through the
+  // short way regardless of representation sign.
+  const Quat a = from_axis_angle({0.0f, 1.0f, 0.0f}, 0.2f);
+  const Quat b = from_axis_angle({0.0f, 1.0f, 0.0f}, 0.6f);
+  const Quat nb{-b.w, -b.x, -b.y, -b.z};
+  const Quat mid = slerp(a, b, 0.5f);
+  const Quat mid_neg = slerp(a, nb, 0.5f);
+  const Mat3 ra = rotation_matrix(mid);
+  const Mat3 rb = rotation_matrix(mid_neg);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(ra.m[i][j], rb.m[i][j], 1e-5f);
+    }
+  }
+  // And the midpoint is the 0.4-radian rotation.
+  const Quat expected = from_axis_angle({0.0f, 1.0f, 0.0f}, 0.4f);
+  EXPECT_NEAR(std::fabs(dot(mid, expected)), 1.0f, 1e-5f);
+}
+
+TEST(Slerp, NearlyParallelFallsBackToLerp) {
+  const Quat a = normalized(Quat{1.0f, 0.01f, 0.0f, 0.0f});
+  const Quat b = normalized(Quat{1.0f, 0.011f, 0.0f, 0.0f});
+  const Quat mid = slerp(a, b, 0.5f);
+  EXPECT_NEAR(length(mid), 1.0f, 1e-6f);
+  EXPECT_GT(dot(mid, a), 0.999f);
+}
+
+TEST(KeyframeCamera, RoundTripsTheLookAtPose) {
+  const Vec3 eye{7.0f, 3.0f, -2.0f};
+  const Vec3 target{0.5f, 1.0f, 0.5f};
+  const Camera direct = Camera::from_fov(160, 120, 1.2f, look_at(eye, target));
+  const Camera via_key = keyframe_camera(keyframe_look_at(eye, target), {160, 120, 1.2f});
+  EXPECT_LT(max_mat_diff(direct.world_to_camera(), via_key.world_to_camera()), 1e-5f);
+  const Vec3 p = via_key.position();
+  EXPECT_NEAR(p.x, eye.x, 1e-4f);
+  EXPECT_NEAR(p.y, eye.y, 1e-4f);
+  EXPECT_NEAR(p.z, eye.z, 1e-4f);
+}
+
+}  // namespace
+}  // namespace gstg
