@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     args.require_known({"out-dir", "repeat", "scenes", "threads"});
     const std::string out_dir = args.get("out-dir", ".");
     const int repeat = args.get_int("repeat", 3);
-    const std::size_t threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    const std::size_t threads = args.get_size("threads", 0);
     std::vector<std::string> scenes = split_csv(args.get("scenes", ""));
     if (scenes.empty()) scenes = benchutil::algo_scene_names();
 

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     const int hold = args.get_int("hold", 2);
     const int move = args.get_int("move", 2);
     GsTgConfig base_config;
-    base_config.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    base_config.threads = args.get_size("threads", 0);
     std::vector<std::string> scenes = split_csv(args.get("scenes", ""));
     if (scenes.empty()) scenes = benchutil::algo_scene_names();
 

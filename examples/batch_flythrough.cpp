@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     GsTgConfig config;  // 16+64, Ellipse+Ellipse
     config.threads = 1;  // parallelism comes from the view level below
     BatchOptions options;
-    options.view_threads = static_cast<std::size_t>(args.get_int("view-threads", 0));
+    options.view_threads = args.get_size("view-threads", 0);
 
     // Sequential reference: the same views through one-shot render_gstg.
     Timer timer;

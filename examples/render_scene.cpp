@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
         RenderConfig config;
         config.tile_size = tile;
         config.boundary = boundary;
-        config.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+        config.threads = args.get_size("threads", 0);
         return render_baseline(scene.cloud, scene.camera, config);
       }
       if (pipeline == "gstg") {
@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
         config.group_size = group;
         config.group_boundary = boundary;
         config.mask_boundary = mask;
-        config.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+        config.threads = args.get_size("threads", 0);
         return render_gstg(scene.cloud, scene.camera, config);
       }
       throw std::invalid_argument("unknown pipeline '" + pipeline + "' (baseline|gstg)");

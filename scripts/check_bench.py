@@ -25,6 +25,14 @@ What is compared, and why:
     a sorts-avoided ratio that was positive must stay positive, and the
     kVerify / bit-identity flags are hard failures.
 
+  * Render-service records (--service/--service-baseline pair of
+    BENCH_service.json files): per scene, the request/cache totals and the
+    per-session reuse-pair ratio of the fixed multi-client workload are
+    deterministic and must stay within tolerance; the bit-identity,
+    verify-gate, and typed-rejection flags are hard failures. Queue/batch
+    depths and the 1 -> 4 client throughput scaling depend on timing and
+    core count, so they are recorded but only compared under --check-times.
+
 Wall-clock fields (*_ms, speedups derived from them) are skipped by default:
 absolute times are machine-dependent and CI runners are noisy. Pass
 --check-times for same-machine comparisons (e.g. refreshing the baseline
@@ -35,12 +43,32 @@ Usage:
                  [--tolerance=0.15] [--check-times]
                  [--temporal=<fresh BENCH_temporal.json>]
                  [--temporal-baseline=<baseline BENCH_temporal.json>]
+                 [--service=<fresh BENCH_service.json>]
+                 [--service-baseline=<baseline BENCH_service.json>]
 
 Baseline refresh procedure: see bench/README.md ("Perf-regression gate").
 """
 
 import json
 import sys
+
+SERVICE_COUNTER_KEYS = [
+    "frames_per_client",
+    "requests_completed",
+    "requests_failed",
+    "cache_misses",
+    "reuse_pairs",
+    "sorted_pairs",
+]
+SERVICE_RATIO_KEYS = ["reuse_pair_ratio"]
+SERVICE_TIME_KEYS = [
+    "sequential_ms",
+    "wall_ms_1client",
+    "wall_ms_4client",
+    "throughput_fps_1client",
+    "throughput_fps_4client",
+    "scaling_1_to_4",
+]
 
 TEMPORAL_COUNTER_KEYS = [
     "groups_total",
@@ -152,6 +180,52 @@ def compare_temporal(gate, fresh, baseline):
             )
 
 
+def compare_service(gate, fresh, baseline, check_times):
+    """Gates a fresh BENCH_service.json against the committed baseline."""
+    if fresh.get("scale", {}) != baseline.get("scale", {}):
+        gate.require(
+            "service",
+            False,
+            f"scale mismatch (fresh {fresh.get('scale')} vs baseline {baseline.get('scale')})",
+        )
+        return
+    fresh_scenes = {s["scene"]: s for s in fresh.get("scenes", [])}
+    for scene in baseline.get("scenes", []):
+        name = scene["scene"]
+        where = f"service.{name}"
+        if name not in fresh_scenes:
+            gate.require(where, False, "scene missing from fresh output")
+            continue
+        new = fresh_scenes[name]
+        compare_section(gate, where, new, scene, SERVICE_COUNTER_KEYS)
+        compare_section(gate, where, new, scene, SERVICE_RATIO_KEYS)
+        if check_times:
+            compare_section(gate, where, new, scene, SERVICE_TIME_KEYS)
+        gate.require(
+            where,
+            new.get("identical_to_sequential") in (True, "true"),
+            "concurrent service output diverged from per-request sequential render_gstg",
+        )
+        gate.require(
+            where,
+            new.get("verify_ok") in (True, "true"),
+            "the verify gate found a response that is not bit-identical to render_gstg",
+        )
+        gate.require(
+            where,
+            new.get("malformed_rejected") in (True, "true"),
+            "a malformed request was not rejected with a typed error",
+        )
+        # The 1 -> 4 client scaling bar (> 1.5x) is judged by the fresh run
+        # itself wherever the machine has >= 4 cores to express it.
+        if new.get("scaling_gate_active") in (True, "true"):
+            gate.require(
+                where,
+                new.get("scaling_ok") in (True, "true"),
+                "1->4 client throughput scaling fell below 1.5x on a >=4-core machine",
+            )
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     opts = [a for a in argv[1:] if a.startswith("--")]
@@ -162,6 +236,8 @@ def main(argv):
     check_times = False
     temporal_fresh_path = None
     temporal_baseline_path = None
+    service_fresh_path = None
+    service_baseline_path = None
     for opt in opts:
         if opt.startswith("--tolerance="):
             tolerance = float(opt.split("=", 1)[1])
@@ -171,11 +247,18 @@ def main(argv):
             temporal_fresh_path = opt.split("=", 1)[1]
         elif opt.startswith("--temporal-baseline="):
             temporal_baseline_path = opt.split("=", 1)[1]
+        elif opt.startswith("--service="):
+            service_fresh_path = opt.split("=", 1)[1]
+        elif opt.startswith("--service-baseline="):
+            service_baseline_path = opt.split("=", 1)[1]
         else:
             print(f"check_bench: unknown option {opt}")
             return 1
     if (temporal_fresh_path is None) != (temporal_baseline_path is None):
         print("check_bench: --temporal and --temporal-baseline must be given together")
+        return 1
+    if (service_fresh_path is None) != (service_baseline_path is None):
+        print("check_bench: --service and --service-baseline must be given together")
         return 1
 
     with open(args[0]) as f:
@@ -252,6 +335,13 @@ def main(argv):
         with open(temporal_baseline_path) as f:
             temporal_baseline = json.load(f)
         compare_temporal(gate, temporal_fresh, temporal_baseline)
+
+    if service_fresh_path is not None:
+        with open(service_fresh_path) as f:
+            service_fresh = json.load(f)
+        with open(service_baseline_path) as f:
+            service_baseline = json.load(f)
+        compare_service(gate, service_fresh, service_baseline, check_times)
 
     if gate.failures:
         print(f"check_bench: FAIL — {len(gate.failures)} violation(s), {gate.checked} checks:")

@@ -58,6 +58,7 @@ check_fields() {
 
 check_fields src/core/gstg_config.h GsTgConfig
 check_fields src/render/types.h RenderConfig
+check_fields src/service/render_service.h ServiceConfig
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"

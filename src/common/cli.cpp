@@ -1,9 +1,64 @@
 #include "common/cli.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace gstg {
+
+namespace {
+
+// Strict full-string integer parse. std::stoi would stop at the first
+// non-digit ("16x" -> 16) and throw bare std::invalid_argument /
+// std::out_of_range with no hint which flag was malformed; here the whole
+// value must be one integer and every failure names the flag and the value.
+int parse_flag_int(const std::string& key, const std::string& value) {
+  int parsed = 0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (ec == std::errc::result_out_of_range) {
+    throw std::invalid_argument("--" + key + ": integer out of range '" + value + "'");
+  }
+  if (ec != std::errc() || ptr != end) {
+    throw std::invalid_argument("--" + key + ": invalid integer '" + value +
+                                "' (expected a whole decimal number)");
+  }
+  return parsed;
+}
+
+// Strict full-string double parse via strtod + end-pointer check
+// (std::from_chars<double> is still patchy across standard libraries).
+// strtod alone is too permissive for a strict contract: it skips leading
+// whitespace and accepts nan/inf and hex floats, none of which belong in a
+// numeric flag — restrict the alphabet to plain decimal/scientific forms
+// first, matching the integer parser's strictness.
+double parse_flag_double(const std::string& key, const std::string& value) {
+  if (value.empty()) {
+    throw std::invalid_argument("--" + key + ": empty value (expected a number)");
+  }
+  for (const char c : value) {
+    const bool allowed =
+        (c >= '0' && c <= '9') || c == '.' || c == '+' || c == '-' || c == 'e' || c == 'E';
+    if (!allowed) {
+      throw std::invalid_argument("--" + key + ": invalid number '" + value + "'");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size() || end == value.c_str()) {
+    throw std::invalid_argument("--" + key + ": invalid number '" + value + "'");
+  }
+  if (errno == ERANGE) {
+    throw std::invalid_argument("--" + key + ": number out of range '" + value + "'");
+  }
+  return parsed;
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
   if (argc < 1) {
@@ -33,13 +88,24 @@ std::string CliArgs::get(const std::string& key, const std::string& fallback) co
 double CliArgs::get_double(const std::string& key, double fallback) const {
   const auto it = flags_.find(key);
   if (it == flags_.end()) return fallback;
-  return std::stod(it->second);
+  return parse_flag_double(key, it->second);
 }
 
 int CliArgs::get_int(const std::string& key, int fallback) const {
   const auto it = flags_.find(key);
   if (it == flags_.end()) return fallback;
-  return std::stoi(it->second);
+  return parse_flag_int(key, it->second);
+}
+
+std::size_t CliArgs::get_size(const std::string& key, std::size_t fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  const int parsed = parse_flag_int(key, it->second);
+  if (parsed < 0) {
+    throw std::invalid_argument("--" + key + ": negative value '" + it->second +
+                                "' (expected a count >= 0)");
+  }
+  return static_cast<std::size_t>(parsed);
 }
 
 void CliArgs::require_known(const std::vector<std::string>& known) const {

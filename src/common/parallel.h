@@ -3,9 +3,17 @@
 // Determinism contract: workers write only to disjoint output slots (or
 // thread-local accumulators merged afterwards), so results are independent
 // of the thread count.
+//
+// Exception contract: a worker that throws does not kill the process (an
+// exception escaping a std::thread is std::terminate). The first exception
+// is captured, every worker is still joined, and the exception is rethrown
+// on the calling thread — so bad input discovered deep inside a parallel
+// stage (e.g. a malformed cloud) surfaces as a normal catchable error.
 #pragma once
 
 #include <cstddef>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -45,14 +53,24 @@ void parallel_for_chunks(std::size_t begin, std::size_t end, const Fn& fn,
   }
   std::vector<std::thread> pool;
   pool.reserve(workers);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   const std::size_t chunk = (n + workers - 1) / workers;
   for (std::size_t w = 0; w < workers; ++w) {
     const std::size_t lo = begin + w * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    pool.emplace_back([&fn, lo, hi, w] { fn(lo, hi, w); });
+    pool.emplace_back([&fn, &first_error, &error_mutex, lo, hi, w] {
+      try {
+        fn(lo, hi, w);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
   }
   for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace gstg

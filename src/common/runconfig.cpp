@@ -1,7 +1,9 @@
 #include "common/runconfig.h"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -49,13 +51,31 @@ const char* to_string(TemporalMode mode) {
   return "?";
 }
 
-std::size_t worker_thread_count() {
-  if (const char* env = std::getenv("GSTG_THREADS")) {
-    const long n = std::strtol(env, nullptr, 10);
-    if (n > 0) return static_cast<std::size_t>(n);
+std::size_t env_positive_size(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  // std::from_chars is the strict parser here on purpose: unlike strtol
+  // with a null end pointer it accepts no leading whitespace, no '+', no
+  // trailing garbage — "8garbage" and " 8" are both rejected, and the end
+  // pointer check catches a partially-consumed value.
+  const std::string value = env;
+  std::size_t parsed = 0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (ec == std::errc::result_out_of_range) {
+    throw std::invalid_argument(std::string(name) + ": value out of range '" + value + "'");
   }
+  if (ec != std::errc() || ptr != end || parsed == 0) {
+    throw std::invalid_argument(std::string(name) + ": invalid value '" + value +
+                                "' (expected a positive integer)");
+  }
+  return parsed;
+}
+
+std::size_t worker_thread_count() {
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  return env_positive_size("GSTG_THREADS", hw == 0 ? 1 : hw);
 }
 
 }  // namespace gstg

@@ -31,8 +31,20 @@ struct RunScale {
 RunScale run_scale_from_env();
 
 /// Number of worker threads for the software pipelines (GSTG_THREADS or
-/// hardware_concurrency).
+/// hardware_concurrency). A set-but-malformed GSTG_THREADS (non-numeric,
+/// trailing garbage, zero, negative) throws std::invalid_argument naming
+/// the variable and value — a typo must not silently fall back to
+/// hardware concurrency.
 std::size_t worker_thread_count();
+
+/// Strictly parses a positive-integer environment override: the entire
+/// value must be a decimal integer >= 1 (no trailing garbage, no sign, no
+/// whitespace). Returns `fallback` when the variable is unset; throws
+/// std::invalid_argument naming the variable and value otherwise. Every
+/// numeric environment override (GSTG_THREADS, the GSTG_SERVICE_* knobs)
+/// goes through this one parser so they all reject malformed input the
+/// same way.
+std::size_t env_positive_size(const char* name, std::size_t fallback);
 
 /// Cross-frame group-sort reuse mode of the temporal renderer
 /// (src/temporal/temporal_renderer.h). Lives here, next to the other run

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -27,7 +28,7 @@ struct PlyHeader {
 PlyHeader parse_header(std::istream& in) {
   std::string line;
   if (!std::getline(in, line) || line != "ply") {
-    throw std::runtime_error("PLY: missing magic");
+    throw PlyError("missing magic");
   }
   PlyHeader header;
   bool in_vertex_element = false;
@@ -40,15 +41,25 @@ PlyHeader parse_header(std::istream& in) {
     ss >> word;
     if (word == "format") {
       std::string fmt;
-      ss >> fmt;
+      if (!(ss >> fmt)) {
+        throw PlyError("garbled format line '" + line + "'");
+      }
       if (fmt != "binary_little_endian") {
-        throw std::runtime_error("PLY: only binary_little_endian is supported");
+        throw PlyError("only binary_little_endian is supported");
       }
       format_ok = true;
     } else if (word == "element") {
-      std::string name;
+      // Extraction must succeed for both tokens and consume the whole line:
+      // a garbled count ("element vertex abc", a missing count, a count
+      // that overflows std::size_t) would otherwise leave count == 0 and
+      // silently parse the file as an empty cloud, and a partially-parsed
+      // one ("element vertex 8x12", "element vertex 8.5") would silently
+      // truncate to the leading digits.
+      std::string name, trailing;
       std::size_t count = 0;
-      ss >> name >> count;
+      if (!(ss >> name >> count) || (ss >> trailing)) {
+        throw PlyError("garbled element line '" + line + "'");
+      }
       if (name == "vertex") {
         header.vertex_count = count;
         in_vertex_element = true;
@@ -56,18 +67,20 @@ PlyHeader parse_header(std::istream& in) {
         in_vertex_element = false;
       }
     } else if (word == "property" && in_vertex_element) {
-      std::string type, name;
-      ss >> type >> name;
+      std::string type, name, trailing;
+      if (!(ss >> type >> name) || (ss >> trailing)) {
+        throw PlyError("garbled property line '" + line + "'");
+      }
       if (type != "float" && type != "float32") {
-        throw std::runtime_error("PLY: non-float vertex property '" + name + "'");
+        throw PlyError("non-float vertex property '" + name + "'");
       }
       header.properties.push_back(name);
     } else if (word == "end_header") {
-      if (!format_ok) throw std::runtime_error("PLY: missing format line");
+      if (!format_ok) throw PlyError("missing format line");
       return header;
     }
   }
-  throw std::runtime_error("PLY: missing end_header");
+  throw PlyError("missing end_header");
 }
 
 int sh_degree_from_rest_count(std::size_t rest_count) {
@@ -75,7 +88,7 @@ int sh_degree_from_rest_count(std::size_t rest_count) {
   for (int deg = 0; deg <= kMaxShDegree; ++deg) {
     if (rest_count == 3 * (sh_coeff_count(deg) - 1)) return deg;
   }
-  throw std::runtime_error("PLY: f_rest count does not match any SH degree <= 3");
+  throw PlyError("f_rest count does not match any SH degree <= 3");
 }
 
 }  // namespace
@@ -89,7 +102,7 @@ GaussianCloud read_gaussian_ply(std::istream& in) {
   }
   auto require = [&](const std::string& name) -> std::size_t {
     const auto it = index.find(name);
-    if (it == index.end()) throw std::runtime_error("PLY: missing property " + name);
+    if (it == index.end()) throw PlyError("missing property " + name);
     return it->second;
   };
 
@@ -105,18 +118,41 @@ GaussianCloud read_gaussian_ply(std::istream& in) {
   const int degree = sh_degree_from_rest_count(rest_count);
   const std::size_t n_coeff = sh_coeff_count(degree);
 
-  GaussianCloud cloud(degree);
-  cloud.reserve(header.vertex_count);
-
+  // The payload size is attacker-controlled (vertex_count and the property
+  // list both come from the header): guard the vertex_count * stride *
+  // sizeof(float) computation against overflow before trusting it anywhere.
   const std::size_t stride = header.properties.size();
+  const std::size_t max_size = std::numeric_limits<std::size_t>::max();
+  if (stride > max_size / sizeof(float)) {
+    throw PlyError("property count overflows the row size");
+  }
+  const std::size_t row_bytes = stride * sizeof(float);
+  if (row_bytes > 0 && header.vertex_count > max_size / row_bytes) {
+    throw PlyError("vertex_count * stride payload size overflows (" +
+                   std::to_string(header.vertex_count) + " rows of " +
+                   std::to_string(row_bytes) + " bytes)");
+  }
+
+  GaussianCloud cloud(degree);
+  // Reserve from the header only up to a sanity cap: a malicious count with
+  // a tiny payload must die on the truncation check below, not on a
+  // multi-terabyte up-front allocation.
+  constexpr std::size_t kReserveCap = std::size_t{1} << 20;
+  cloud.reserve(std::min(header.vertex_count, kReserveCap));
+
   std::vector<float> row(stride);
   std::vector<float> sh(3 * n_coeff);
 
   for (std::size_t v = 0; v < header.vertex_count; ++v) {
-    in.read(reinterpret_cast<char*>(row.data()),
-            static_cast<std::streamsize>(stride * sizeof(float)));
-    if (!in) {
-      throw std::runtime_error("PLY: truncated vertex data at row " + std::to_string(v));
+    in.read(reinterpret_cast<char*>(row.data()), static_cast<std::streamsize>(row_bytes));
+    // A short read leaves the stream failed with gcount() < row_bytes;
+    // verify both so a truncated file errors instead of rendering whatever
+    // bytes happened to arrive.
+    if (!in || static_cast<std::size_t>(in.gcount()) != row_bytes) {
+      throw PlyError("truncated vertex data at row " + std::to_string(v) + " of " +
+                     std::to_string(header.vertex_count) + " (got " +
+                     std::to_string(in.gcount()) + " of " + std::to_string(row_bytes) +
+                     " bytes)");
     }
     const Vec3 pos{row[ix], row[iy], row[iz]};
     const Vec3 scale{std::exp(row[is0]), std::exp(row[is1]), std::exp(row[is2])};
@@ -145,7 +181,7 @@ GaussianCloud read_gaussian_ply(std::istream& in) {
 
 GaussianCloud read_gaussian_ply_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("PLY: cannot open " + path);
+  if (!in) throw PlyError("cannot open " + path);
   return read_gaussian_ply(in);
 }
 
@@ -185,12 +221,12 @@ void write_gaussian_ply(std::ostream& out, const GaussianCloud& cloud) {
     out.write(reinterpret_cast<const char*>(row.data()),
               static_cast<std::streamsize>(row.size() * sizeof(float)));
   }
-  if (!out) throw std::runtime_error("PLY: write failure");
+  if (!out) throw PlyError("write failure");
 }
 
 void write_gaussian_ply_file(const std::string& path, const GaussianCloud& cloud) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("PLY: cannot open " + path + " for writing");
+  if (!out) throw PlyError("cannot open " + path + " for writing");
   write_gaussian_ply(out, cloud);
 }
 

@@ -13,14 +13,28 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "gaussian/cloud.h"
 
 namespace gstg {
 
-/// Parses a 3D-GS PLY from a stream. Throws std::runtime_error on malformed
-/// headers, unsupported formats, or truncated data.
+/// Typed error for every PLY parse/read/write failure: malformed or garbled
+/// headers, unsupported formats, truncated payloads, and size overflows.
+/// Derives from std::runtime_error so existing catch sites keep working,
+/// while service-layer callers can map PLY failures to a typed client error
+/// instead of a generic internal one.
+class PlyError : public std::runtime_error {
+ public:
+  explicit PlyError(const std::string& message) : std::runtime_error("PLY: " + message) {}
+};
+
+/// Parses a 3D-GS PLY from a stream. Throws PlyError on malformed headers
+/// (including garbled element/property/format lines — a count that fails to
+/// parse is an error, never an empty cloud), unsupported formats, truncated
+/// vertex data (the payload must deliver exactly vertex_count * stride
+/// floats), or a vertex_count * stride size that overflows.
 GaussianCloud read_gaussian_ply(std::istream& in);
 GaussianCloud read_gaussian_ply_file(const std::string& path);
 

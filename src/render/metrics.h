@@ -62,6 +62,37 @@ struct TemporalStats {
   }
 };
 
+/// Operating counters of the async render service (src/service/): queueing,
+/// batching, scene-cache, and cross-frame-reuse behaviour of one
+/// RenderService since construction. Queue/batch fields depend on request
+/// timing and are operational telemetry; the request/cache/verify totals of
+/// a fixed workload driven to completion are deterministic (bench_service
+/// gates those).
+struct ServiceStats {
+  std::size_t requests_submitted = 0;  ///< accepted into the queue
+  std::size_t requests_rejected = 0;   ///< typed rejections (validation, queue full, shutdown)
+  std::size_t requests_completed = 0;  ///< responses delivered with status kOk
+  std::size_t requests_failed = 0;     ///< responses delivered with an error status
+  std::size_t batches = 0;             ///< scheduler dispatches (>= 1 request each)
+  std::size_t batched_requests = 0;    ///< requests that shared a batch with another
+  std::size_t max_batch = 0;           ///< largest batch dispatched
+  std::size_t peak_queue_depth = 0;    ///< high-water mark of the bounded queue
+  std::size_t cache_hits = 0;          ///< scene acquisitions served from the cache
+  std::size_t cache_misses = 0;        ///< acquisitions that triggered a load
+  std::size_t cache_evictions = 0;     ///< resident scenes dropped by the LRU policy
+  std::size_t sessions = 0;            ///< currently resident temporal sessions
+  std::size_t sessions_evicted = 0;    ///< idle sessions dropped by the session cap
+  std::size_t reuse_pairs = 0;         ///< TemporalStats::pairs_reused across sessions
+  std::size_t sorted_pairs = 0;        ///< TemporalStats::pairs_sorted across sessions
+  std::size_t verify_mismatches = 0;   ///< verify-gate renders that diverged (must be 0)
+
+  /// Share of sort-pair work the per-session temporal caches avoided.
+  [[nodiscard]] double reuse_pair_ratio() const {
+    const std::size_t pairs = reuse_pairs + sorted_pairs;
+    return pairs ? static_cast<double>(reuse_pairs) / static_cast<double>(pairs) : 0.0;
+  }
+};
+
 /// Mean SSIM over 8x8 windows (stride 4) on Rec.601 luminance, standard
 /// constants C1 = (0.01)^2 and C2 = (0.03)^2 with a peak of 1.0. Returns a
 /// value in [-1, 1]; identical images score exactly 1. Throws

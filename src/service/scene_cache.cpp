@@ -1,0 +1,100 @@
+#include "service/scene_cache.h"
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "gaussian/ply_io.h"
+#include "scene/scene.h"
+
+namespace gstg {
+
+GaussianCloud load_scene_or_ply(const std::string& key) {
+  const bool is_ply = key.size() >= 4 && key.compare(key.size() - 4, 4, ".ply") == 0;
+  if (is_ply) return read_gaussian_ply_file(key);
+  return std::move(generate_scene(key).cloud);
+}
+
+SceneCache::SceneCache(std::size_t capacity, Loader loader)
+    : capacity_(capacity), loader_(loader ? std::move(loader) : Loader(load_scene_or_ply)) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("SceneCache: capacity must be >= 1");
+  }
+}
+
+std::shared_ptr<const GaussianCloud> SceneCache::acquire(const std::string& key) {
+  // Constructed only on the miss path: the steady-state hit path must not
+  // pay the promise's shared-state allocation.
+  std::optional<std::promise<std::shared_ptr<const GaussianCloud>>> promise;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      if (it->second.cloud) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // refresh recency
+        return it->second.cloud;
+      }
+      // Another thread is loading this key: share its flight. The wait
+      // happens outside the lock so one slow load cannot stall other keys.
+      const CloudFuture flight = it->second.future;
+      lock.unlock();
+      return flight.get();  // rethrows the loader's exception on failure
+    }
+    ++stats_.misses;
+    promise.emplace();
+    Entry entry;
+    entry.future = promise->get_future().share();
+    entries_.emplace(key, std::move(entry));
+  }
+
+  // Load outside the lock: scene generation / PLY parsing can be slow, and
+  // other keys must stay servable meanwhile.
+  std::shared_ptr<const GaussianCloud> cloud;
+  try {
+    cloud = std::make_shared<const GaussianCloud>(loader_(key));
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      entries_.erase(key);  // failures are not cached; the next acquire retries
+    }
+    promise->set_exception(std::current_exception());
+    throw;
+  }
+
+  // Wake the waiters before publishing to the map: a reader must never be
+  // able to observe a committed entry whose future is still unsatisfied.
+  promise->set_value(cloud);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    try {
+      lru_.push_front(key);
+    } catch (...) {
+      // Publishing failed (allocation): drop the entry so the key reloads
+      // next time; the waiters already have their value.
+      entries_.erase(key);
+      throw;
+    }
+    const auto it = entries_.find(key);
+    // The entry is still ours (only a committed load or our own failure
+    // path removes it), so publish and enforce capacity.
+    it->second.cloud = cloud;
+    it->second.lru_it = lru_.begin();
+    while (lru_.size() > capacity_) {
+      const std::string victim = lru_.back();
+      lru_.pop_back();
+      entries_.erase(victim);
+      ++stats_.evictions;
+    }
+  }
+  return cloud;
+}
+
+SceneCacheStats SceneCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SceneCacheStats snapshot = stats_;
+  snapshot.resident = lru_.size();
+  return snapshot;
+}
+
+}  // namespace gstg

@@ -1,0 +1,75 @@
+// Load-once scene cache of the render service: refcounted GaussianClouds
+// keyed by scene id (a synthetic scene name or a .ply path), with LRU
+// eviction and single-flight loading.
+//
+// Concurrency model: the cache hands out shared_ptr<const GaussianCloud>,
+// so eviction only drops the cache's own reference — requests that are
+// still rendering from an evicted cloud keep it alive until they finish.
+// Concurrent acquires of the same missing key trigger exactly one load
+// (single flight); the other callers block on the in-flight load and share
+// its result. A failed load is *not* cached: every waiter receives the
+// loader's typed exception (e.g. PlyError) and the next acquire retries.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "gaussian/cloud.h"
+
+namespace gstg {
+
+/// Counters of one SceneCache since construction.
+struct SceneCacheStats {
+  std::size_t hits = 0;       ///< acquisitions served from cache (incl. joining an in-flight load)
+  std::size_t misses = 0;     ///< acquisitions that started a load
+  std::size_t evictions = 0;  ///< resident entries dropped by the LRU policy
+  std::size_t resident = 0;   ///< currently cached (loaded) scenes
+};
+
+/// Default cache loader: a key ending in ".ply" is read from the
+/// filesystem (throws PlyError on malformed/truncated files); any other key
+/// names a synthetic scene recipe at the env-selected RunScale (throws
+/// std::invalid_argument for unknown names).
+GaussianCloud load_scene_or_ply(const std::string& key);
+
+class SceneCache {
+ public:
+  using Loader = std::function<GaussianCloud(const std::string&)>;
+
+  /// capacity = maximum resident (loaded) scenes, >= 1; an empty loader
+  /// selects load_scene_or_ply. Throws std::invalid_argument on capacity 0.
+  explicit SceneCache(std::size_t capacity, Loader loader = {});
+
+  /// Returns the cloud for `key`, loading it on first use. Thread-safe;
+  /// rethrows the loader's exception on failure (nothing is cached then).
+  std::shared_ptr<const GaussianCloud> acquire(const std::string& key);
+
+  [[nodiscard]] SceneCacheStats stats() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  using CloudFuture = std::shared_future<std::shared_ptr<const GaussianCloud>>;
+
+  struct Entry {
+    CloudFuture future;                          // what in-flight waiters block on
+    std::shared_ptr<const GaussianCloud> cloud;  // non-null once the load committed:
+                                                 // the hit path returns it directly and
+                                                 // never touches the future under the lock
+    std::list<std::string>::iterator lru_it{};   // valid only when cloud != nullptr
+  };
+
+  std::size_t capacity_;
+  Loader loader_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // ready keys, most recent first
+  SceneCacheStats stats_;
+};
+
+}  // namespace gstg

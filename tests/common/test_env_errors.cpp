@@ -1,0 +1,94 @@
+// Malformed-environment corpus: numeric env overrides must validate the
+// entire value. GSTG_THREADS=abc used to silently fall back to hardware
+// concurrency and GSTG_THREADS=8garbage used to be accepted as 8; both are
+// now errors that name the variable.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "common/runconfig.h"
+
+namespace gstg {
+namespace {
+
+/// Restores one environment variable on scope exit, so a failing test
+/// cannot leak a malformed value into the rest of the suite.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* current = std::getenv(name);
+    had_value_ = current != nullptr;
+    if (had_value_) old_value_ = current;
+  }
+  ~EnvGuard() {
+    if (had_value_) {
+      setenv(name_.c_str(), old_value_.c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+  void set(const char* value) { ASSERT_EQ(setenv(name_.c_str(), value, 1), 0); }
+  void unset() { ASSERT_EQ(unsetenv(name_.c_str()), 0); }
+
+ private:
+  std::string name_;
+  bool had_value_ = false;
+  std::string old_value_;
+};
+
+/// The thrown message must name the variable and echo the value.
+void expect_env_error(const char* name, const char* value, std::size_t fallback = 3) {
+  try {
+    (void)env_positive_size(name, fallback);
+    FAIL() << name << "=" << value << " should be rejected";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(name), std::string::npos) << message;
+    EXPECT_NE(message.find(value), std::string::npos) << message;
+  }
+}
+
+TEST(EnvErrors, ThreadsCorpusRejected) {
+  EnvGuard guard("GSTG_THREADS");
+  for (const char* bad : {"abc", "8garbage", "0", "-3", "", " 8", "8 ", "+4", "4.5", "0x8"}) {
+    guard.set(bad);
+    EXPECT_THROW((void)worker_thread_count(), std::invalid_argument) << "value '" << bad << "'";
+  }
+}
+
+TEST(EnvErrors, ThreadsErrorNamesVariableAndValue) {
+  EnvGuard guard("GSTG_THREADS");
+  guard.set("8garbage");
+  expect_env_error("GSTG_THREADS", "8garbage");
+}
+
+TEST(EnvErrors, ThreadsValidValuesAccepted) {
+  EnvGuard guard("GSTG_THREADS");
+  guard.set("8");
+  EXPECT_EQ(worker_thread_count(), 8u);
+  guard.set("1");
+  EXPECT_EQ(worker_thread_count(), 1u);
+  guard.unset();
+  EXPECT_GE(worker_thread_count(), 1u);  // hardware fallback
+}
+
+TEST(EnvErrors, ThreadsOverflowRejected) {
+  EnvGuard guard("GSTG_THREADS");
+  guard.set("99999999999999999999999999");
+  EXPECT_THROW((void)worker_thread_count(), std::invalid_argument);
+}
+
+TEST(EnvErrors, EnvPositiveSizeFallsBackOnlyWhenUnset) {
+  EnvGuard guard("GSTG_TEST_KNOB");
+  guard.unset();
+  EXPECT_EQ(env_positive_size("GSTG_TEST_KNOB", 42), 42u);
+  guard.set("7");
+  EXPECT_EQ(env_positive_size("GSTG_TEST_KNOB", 42), 7u);
+  guard.set("7junk");
+  expect_env_error("GSTG_TEST_KNOB", "7junk", 42);
+}
+
+}  // namespace
+}  // namespace gstg

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <stdexcept>
 
 #include "common/cli.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/runconfig.h"
 #include "common/table.h"
@@ -98,6 +100,33 @@ TEST(RunScale, EnvParsing) {
 
 TEST(RunScale, WorkerThreadsPositive) {
   EXPECT_GE(worker_thread_count(), 1u);
+}
+
+TEST(Parallel, WorkerExceptionRethrownOnCaller) {
+  // A throw inside a worker must surface as a catchable exception on the
+  // calling thread (an exception escaping a std::thread is std::terminate),
+  // and the other workers must still be joined.
+  std::atomic<std::size_t> visited{0};
+  const auto run = [&] {
+    parallel_for_chunks(
+        0, 4096,
+        [&](std::size_t lo, std::size_t, std::size_t) {
+          visited.fetch_add(1, std::memory_order_relaxed);
+          if (lo == 0) throw std::runtime_error("worker failure");
+        },
+        4);
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+  EXPECT_GE(visited.load(), 1u);
+}
+
+TEST(Parallel, InlinePathPropagatesToo) {
+  const auto run = [] {
+    parallel_for_chunks(0, 8, [](std::size_t, std::size_t, std::size_t) {
+      throw std::invalid_argument("small range runs inline");
+    });
+  };
+  EXPECT_THROW(run(), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,138 @@
+// Malformed-PLY corpus: garbled headers, truncated payloads, and
+// overflowing size computations must all raise typed PlyErrors — never an
+// "empty cloud" success, a crash, or garbage splats.
+#include "gaussian/ply_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "test_helpers.h"
+
+namespace gstg {
+namespace {
+
+using testutil::make_random_cloud;
+
+/// A valid serialized checkpoint to corrupt.
+std::string valid_ply_bytes(std::size_t splats = 8) {
+  std::ostringstream out(std::ios::binary);
+  write_gaussian_ply(out, make_random_cloud(splats, 21, /*sh_degree=*/1));
+  return out.str();
+}
+
+GaussianCloud parse(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return read_gaussian_ply(in);
+}
+
+std::string replace_once(std::string text, const std::string& from, const std::string& to) {
+  const auto pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << "corpus construction: '" << from << "' not found";
+  return text.replace(pos, from.size(), to);
+}
+
+void expect_ply_error(const std::string& bytes, const std::string& message_fragment) {
+  try {
+    (void)parse(bytes);
+    FAIL() << "expected PlyError containing '" << message_fragment << "'";
+  } catch (const PlyError& e) {
+    EXPECT_NE(std::string(e.what()).find(message_fragment), std::string::npos) << e.what();
+  }
+}
+
+TEST(PlyErrors, ValidRoundTripStillWorks) {
+  const GaussianCloud cloud = parse(valid_ply_bytes(8));
+  EXPECT_EQ(cloud.size(), 8u);
+}
+
+TEST(PlyErrors, GarbledElementCountIsAnErrorNotAnEmptyCloud) {
+  // "element vertex abc" used to leave vertex_count == 0 and parse the file
+  // as a valid empty cloud.
+  expect_ply_error(replace_once(valid_ply_bytes(), "element vertex 8", "element vertex abc"),
+                   "garbled element");
+  expect_ply_error(replace_once(valid_ply_bytes(), "element vertex 8", "element vertex"),
+                   "garbled element");
+  // Partial parses must not silently truncate to the leading digits.
+  expect_ply_error(replace_once(valid_ply_bytes(), "element vertex 8", "element vertex 8x12"),
+                   "garbled element");
+  expect_ply_error(replace_once(valid_ply_bytes(), "element vertex 8", "element vertex 8.5"),
+                   "garbled element");
+  expect_ply_error(replace_once(valid_ply_bytes(), "element vertex 8", "element vertex 8 9"),
+                   "garbled element");
+}
+
+TEST(PlyErrors, ElementCountBeyondSizeTypeIsGarbled) {
+  // Too large for std::size_t: stream extraction fails -> garbled, not 0.
+  expect_ply_error(replace_once(valid_ply_bytes(), "element vertex 8",
+                                "element vertex 99999999999999999999999999"),
+                   "garbled element");
+}
+
+TEST(PlyErrors, PayloadSizeOverflowGuarded) {
+  // SIZE_MAX vertices parse, but vertex_count * stride * sizeof(float)
+  // overflows; the guard must fire before any allocation or read.
+  expect_ply_error(replace_once(valid_ply_bytes(), "element vertex 8",
+                                "element vertex 18446744073709551615"),
+                   "overflows");
+}
+
+TEST(PlyErrors, HugeCountWithTinyPayloadIsTruncationNotOom) {
+  // A count that does not overflow but dwarfs the payload must die on the
+  // truncation check (first missing row), not on a giant reservation.
+  expect_ply_error(replace_once(valid_ply_bytes(), "element vertex 8", "element vertex 99999999"),
+                   "truncated vertex data");
+}
+
+TEST(PlyErrors, TruncatedPayloadErrors) {
+  const std::string bytes = valid_ply_bytes();
+  expect_ply_error(bytes.substr(0, bytes.size() - 1), "truncated vertex data");
+  expect_ply_error(bytes.substr(0, bytes.size() - 100), "truncated vertex data");
+}
+
+TEST(PlyErrors, TruncationReportsRowAndBytes) {
+  const std::string bytes = valid_ply_bytes();
+  try {
+    (void)parse(bytes.substr(0, bytes.size() - 3));
+    FAIL() << "expected PlyError";
+  } catch (const PlyError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("row 7 of 8"), std::string::npos) << message;
+    EXPECT_NE(message.find("bytes"), std::string::npos) << message;
+  }
+}
+
+TEST(PlyErrors, HeaderCorpusRejected) {
+  expect_ply_error("plyX\nend_header\n", "missing magic");
+  expect_ply_error("ply\nelement vertex 0\nend_header\n", "missing format line");
+  expect_ply_error("ply\nformat\nend_header\n", "garbled format");
+  expect_ply_error("ply\nformat ascii 1.0\nend_header\n", "binary_little_endian");
+  expect_ply_error("ply\nformat binary_little_endian 1.0\nelement vertex 0\n", "missing end_header");
+  expect_ply_error(replace_once(valid_ply_bytes(), "property float x", "property float"),
+                   "garbled property");
+  expect_ply_error(replace_once(valid_ply_bytes(), "property float x", "property float x junk"),
+                   "garbled property");
+  expect_ply_error(replace_once(valid_ply_bytes(), "property float x", "property int x"),
+                   "non-float");
+  expect_ply_error(replace_once(valid_ply_bytes(), "property float x", "property float y2"),
+                   "missing property x");
+}
+
+TEST(PlyErrors, ZeroVertexFileIsAValidEmptyCloud) {
+  // An explicit, well-formed zero count is not an error.
+  std::string bytes = valid_ply_bytes();
+  bytes = replace_once(bytes, "element vertex 8", "element vertex 0");
+  const std::string header_end = "end_header\n";
+  bytes = bytes.substr(0, bytes.find(header_end) + header_end.size());
+  EXPECT_EQ(parse(bytes).size(), 0u);
+}
+
+TEST(PlyErrors, PlyErrorIsARuntimeError) {
+  // Existing catch (std::runtime_error) sites must keep working.
+  EXPECT_THROW((void)parse("plyX\n"), std::runtime_error);
+  EXPECT_THROW((void)read_gaussian_ply_file("/nonexistent/cloud.ply"), PlyError);
+}
+
+}  // namespace
+}  // namespace gstg

@@ -1,0 +1,130 @@
+// SceneCache: load-once semantics (single-flight under concurrency), LRU
+// eviction that never invalidates in-flight users (refcounted clouds), and
+// typed, retryable load failures.
+#include "service/scene_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gaussian/ply_io.h"
+#include "test_helpers.h"
+
+namespace gstg {
+namespace {
+
+using testutil::make_random_cloud;
+
+SceneCache::Loader counting_loader(std::atomic<int>& loads) {
+  return [&loads](const std::string& key) {
+    ++loads;
+    return make_random_cloud(64, static_cast<unsigned>(key.size()));
+  };
+}
+
+TEST(SceneCache, CapacityZeroThrows) { EXPECT_THROW(SceneCache(0), std::invalid_argument); }
+
+TEST(SceneCache, HitMissEviction) {
+  std::atomic<int> loads{0};
+  SceneCache cache(1, counting_loader(loads));
+
+  const auto a1 = cache.acquire("a");
+  EXPECT_EQ(loads.load(), 1);
+  const auto a2 = cache.acquire("a");
+  EXPECT_EQ(loads.load(), 1);
+  EXPECT_EQ(a1.get(), a2.get());  // the same refcounted cloud
+
+  const auto b = cache.acquire("b");  // capacity 1: evicts "a"
+  EXPECT_EQ(loads.load(), 2);
+  const auto a3 = cache.acquire("a");  // reload
+  EXPECT_EQ(loads.load(), 3);
+
+  const SceneCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.resident, 1u);
+}
+
+TEST(SceneCache, EvictionKeepsInFlightUsersAlive) {
+  std::atomic<int> loads{0};
+  SceneCache cache(1, counting_loader(loads));
+
+  const std::shared_ptr<const GaussianCloud> a = cache.acquire("a");
+  const std::size_t a_size = a->size();
+  (void)cache.acquire("b");  // evicts "a" from the cache...
+  EXPECT_EQ(a->size(), a_size);  // ...but our reference keeps it valid
+  EXPECT_GE(a.use_count(), 1);
+}
+
+TEST(SceneCache, LruKeepsRecentlyUsedResident) {
+  std::atomic<int> loads{0};
+  SceneCache cache(2, counting_loader(loads));
+  (void)cache.acquire("a");
+  (void)cache.acquire("b");
+  (void)cache.acquire("a");  // refresh "a": the LRU victim must be "b"
+  (void)cache.acquire("c");  // evicts "b"
+  (void)cache.acquire("a");  // still resident
+  EXPECT_EQ(loads.load(), 3);
+}
+
+TEST(SceneCache, SingleFlightConcurrentAcquires) {
+  std::atomic<int> loads{0};
+  std::promise<void> gate;
+  std::shared_future<void> gate_future = gate.get_future().share();
+  SceneCache cache(2, [&](const std::string&) {
+    ++loads;
+    gate_future.wait();  // hold the load so both threads overlap on it
+    return make_random_cloud(32, 5);
+  });
+
+  std::vector<std::thread> threads;
+  std::atomic<int> done{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      const auto cloud = cache.acquire("shared");
+      EXPECT_EQ(cloud->size(), 32u);
+      ++done;
+    });
+  }
+  // Give every thread time to reach the cache before releasing the load.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.set_value();
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(done.load(), 4);
+  EXPECT_EQ(loads.load(), 1);  // load-once: one flight served all four
+  const SceneCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+}
+
+TEST(SceneCache, LoadFailureIsTypedAndRetryable) {
+  std::atomic<int> loads{0};
+  SceneCache cache(2, [&](const std::string&) -> GaussianCloud {
+    if (++loads == 1) throw PlyError("synthetic failure");
+    return make_random_cloud(16, 3);
+  });
+
+  EXPECT_THROW((void)cache.acquire("flaky"), PlyError);
+  // Failures are not cached: the next acquire retries and succeeds.
+  const auto cloud = cache.acquire("flaky");
+  EXPECT_EQ(cloud->size(), 16u);
+  EXPECT_EQ(loads.load(), 2);
+}
+
+TEST(SceneCache, DefaultLoaderSyntheticSceneAndUnknownKey) {
+  // Synthetic scene names resolve through the scene recipes...
+  const GaussianCloud train = load_scene_or_ply("train");
+  EXPECT_GT(train.size(), 0u);
+  // ...unknown names and missing PLY paths are typed errors.
+  EXPECT_THROW((void)load_scene_or_ply("no-such-scene"), std::invalid_argument);
+  EXPECT_THROW((void)load_scene_or_ply("/nonexistent/dir/cloud.ply"), PlyError);
+}
+
+}  // namespace
+}  // namespace gstg
