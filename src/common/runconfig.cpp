@@ -51,6 +51,39 @@ const char* to_string(TemporalMode mode) {
   return "?";
 }
 
+BinningMode binning_mode_from_env(BinningMode fallback) {
+  const char* env = std::getenv("GSTG_BINNING");
+  if (env == nullptr) return fallback;
+  const std::string value = env;
+  if (value == "flat") return BinningMode::kFlat;
+  if (value == "hierarchical") return BinningMode::kHierarchical;
+  if (value == "auto") return BinningMode::kAuto;
+  if (value == "verify") return BinningMode::kVerify;
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "gstg: unknown GSTG_BINNING value '%s' (expected "
+                 "flat/hierarchical/auto/verify), keeping the configured mode\n",
+                 env);
+  }
+  return fallback;
+}
+
+const char* to_string(BinningMode mode) {
+  switch (mode) {
+    case BinningMode::kFlat:
+      return "flat";
+    case BinningMode::kHierarchical:
+      return "hierarchical";
+    case BinningMode::kAuto:
+      return "auto";
+    case BinningMode::kVerify:
+      return "verify";
+  }
+  return "?";
+}
+
 std::size_t env_positive_size(const char* name, std::size_t fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr) return fallback;

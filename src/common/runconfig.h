@@ -64,4 +64,26 @@ TemporalMode temporal_mode_from_env(TemporalMode fallback);
 
 [[nodiscard]] const char* to_string(TemporalMode mode);
 
+/// Binning strategy of the tile/group identification pass
+/// (src/render/binning.h). Lives here, next to the other run modes, so the
+/// render config can carry the knob without a layering cycle.
+///   kFlat         — one boundary test per fine-cell candidate (the
+///                   original single-level pass)
+///   kHierarchical — coarse cells first, then expansion of the non-empty
+///                   coarse cells into the fine CSR lists; identical hit
+///                   sets, fewer boundary tests
+///   kAuto         — hierarchical on grids large enough to amortise the
+///                   coarse pass, flat otherwise (the default)
+///   kVerify       — hierarchical, plus a flat reference run asserting the
+///                   CSR output is bit-identical after the canonical
+///                   (depth, index) per-cell sort (the audit mode)
+enum class BinningMode : std::uint8_t { kFlat, kHierarchical, kAuto, kVerify };
+
+/// Reads GSTG_BINNING from the environment ("flat" / "hierarchical" /
+/// "auto" / "verify"). Unset returns `fallback`; an unknown value is
+/// ignored with a one-time warning, mirroring GSTG_TEMPORAL.
+BinningMode binning_mode_from_env(BinningMode fallback);
+
+[[nodiscard]] const char* to_string(BinningMode mode);
+
 }  // namespace gstg

@@ -14,7 +14,8 @@ namespace gstg {
 BinnedSplats identify_groups(std::span<const ProjectedSplat> splats, const CellGrid& group_grid,
                              const GsTgConfig& config, RenderCounters& counters) {
   config.validate();
-  return bin_splats(splats, group_grid, config.group_boundary, config.threads, counters);
+  return bin_splats(splats, group_grid, config.group_boundary, config.threads, counters,
+                    config.binning);
 }
 
 std::vector<TileMask> generate_bitmasks(std::span<const ProjectedSplat> splats,

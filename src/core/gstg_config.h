@@ -39,6 +39,13 @@ struct GsTgConfig {
   /// pixel-exact — reuse only happens when the cached order is provably the
   /// sorted order, and kVerify re-sorts to audit that proof.
   TemporalMode temporal = TemporalMode::kOff;
+  /// Tile/group identification strategy (render/binning.h; GSTG_BINNING
+  /// overrides): flat, hierarchical coarse→fine, kAuto (hierarchical on
+  /// large grids — the default), or kVerify (hierarchical audited
+  /// bit-identical against flat). Applies to both the group identification
+  /// pass and the baseline comparison runs render_config() feeds; every
+  /// mode produces identical hit sets, so the lossless gate is unaffected.
+  BinningMode binning = BinningMode::kAuto;
   std::size_t threads = 0;  ///< 0 = auto
 
   /// The RenderConfig this GS-TG config implies for the stages shared with
@@ -52,6 +59,7 @@ struct GsTgConfig {
     rc.opacity_aware_rho = opacity_aware_rho;
     rc.sort_algo = sort_algo;
     rc.simd = simd;
+    rc.binning = binning;
     rc.threads = threads;
     return rc;
   }

@@ -9,7 +9,10 @@
 
 namespace gstg {
 
-Renderer::Renderer(const GsTgConfig& config) : config_(config) { config_.validate(); }
+Renderer::Renderer(const GsTgConfig& config) : config_(config) {
+  config_.binning = binning_mode_from_env(config.binning);
+  config_.validate();
+}
 
 void Renderer::render(const GaussianCloud& cloud, const Camera& camera,
                       FrameContext& ctx) const {
@@ -27,7 +30,7 @@ void Renderer::render(const GaussianCloud& cloud, const Camera& camera,
   ctx.frame.group_grid =
       CellGrid::over_image(camera.width(), camera.height(), config_.group_size);
   bin_splats_into(ctx.splats, ctx.frame.group_grid, config_.group_boundary, config_.threads,
-                  ctx.counters, ctx.frame.group_bins, ctx.binning);
+                  ctx.counters, ctx.frame.group_bins, ctx.binning, config_.binning);
   ctx.times.preprocess_ms = timer.lap_ms();
 
   // Bitmask generation (sequential here; overlapped with sorting in HW).

@@ -51,11 +51,15 @@ struct TileRange {
 /// side, clipped to the image. The rectangle spans the tile's pixel centers'
 /// full extent [tx*tile, (tx+1)*tile).
 inline Rect tile_rect(int tx, int ty, int tile_size, int image_width, int image_height) {
+  // The products are widened to 64 bits: (tx + 1) * tile_size overflows int
+  // for tile indices near INT_MAX (far-out indices are representable in a
+  // TileRange even though real grids never reach them).
+  const long long ts = tile_size;
   Rect r;
-  r.x0 = static_cast<float>(tx * tile_size);
-  r.y0 = static_cast<float>(ty * tile_size);
-  r.x1 = std::min(static_cast<float>((tx + 1) * tile_size), static_cast<float>(image_width));
-  r.y1 = std::min(static_cast<float>((ty + 1) * tile_size), static_cast<float>(image_height));
+  r.x0 = static_cast<float>(tx * ts);
+  r.y0 = static_cast<float>(ty * ts);
+  r.x1 = std::min(static_cast<float>((tx + 1) * ts), static_cast<float>(image_width));
+  r.y1 = std::min(static_cast<float>((ty + 1) * ts), static_cast<float>(image_height));
   return r;
 }
 

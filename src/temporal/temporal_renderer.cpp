@@ -31,6 +31,7 @@ void prepare_scratch(TemporalScratch& scratch, std::size_t workers, std::size_t 
 
 TemporalRenderer::TemporalRenderer(const GsTgConfig& config) : config_(config) {
   config_.temporal = temporal_mode_from_env(config.temporal);
+  config_.binning = binning_mode_from_env(config.binning);
   config_.validate();
 }
 
@@ -55,7 +56,7 @@ void TemporalRenderer::render(const GaussianCloud& cloud, const Camera& camera,
   ctx.frame.group_grid =
       CellGrid::over_image(camera.width(), camera.height(), config_.group_size);
   bin_splats_into(ctx.splats, ctx.frame.group_grid, config_.group_boundary, config_.threads,
-                  ctx.counters, ctx.frame.group_bins, ctx.binning);
+                  ctx.counters, ctx.frame.group_bins, ctx.binning, config_.binning);
   ctx.times.preprocess_ms = timer.lap_ms();
 
   generate_bitmasks_into(ctx.splats, ctx.frame.group_bins, ctx.frame.tile_grid, config_,

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "../test_helpers.h"
@@ -197,6 +198,57 @@ TEST(Grouping, GroupPairsFarFewerThanTilePairs) {
 
   const std::size_t group_pairs = data.frame.group_bins.splat_ids.size();
   EXPECT_LT(group_pairs, counters.tile_pairs);
+}
+
+TEST(Grouping, AdversarialFootprintsSurviveGroupingAndBitmasks) {
+  // Degenerate splats through the group-granularity callers of the
+  // candidate-cell math: identify_groups and generate_bitmasks must not
+  // perform unclamped float→int casts (UBSan) and must agree between flat
+  // and hierarchical group binning.
+  constexpr float nan = std::numeric_limits<float>::quiet_NaN();
+  constexpr float inf = std::numeric_limits<float>::infinity();
+  const auto splat = [](Vec2 center, Sym2 cov, float rho, std::uint32_t index) {
+    ProjectedSplat s;
+    s.center = center;
+    s.cov = cov;
+    s.conic = inverse(cov);
+    s.depth = 1.0f + static_cast<float>(index);
+    s.opacity = 0.9f;
+    s.rho = rho;
+    s.index = index;
+    return s;
+  };
+  const std::vector<ProjectedSplat> splats = {
+      splat({40, 40}, Sym2{1, 0, 1}, 1e30f, 0),   // huge rho: full cover
+      splat({nan, 40}, Sym2{1, 0, 1}, 9.0f, 1),   // NaN mean: dropped
+      splat({40, 40}, Sym2{nan, 0, 1}, 9.0f, 2),  // NaN covariance: dropped
+      splat({-inf, 12}, Sym2{1, 0, 1}, 9.0f, 3),  // off-screen at -inf
+      splat({70, 30}, Sym2{2, 0, 2}, 9.0f, 4),    // sane anchor
+  };
+  const CellGrid tile_grid = CellGrid::over_image(128, 96, 16);
+  const CellGrid group_grid = CellGrid::over_image(128, 96, 64);
+
+  GsTgConfig config;
+  config.binning = BinningMode::kFlat;
+  RenderCounters cf;
+  const BinnedSplats flat = identify_groups(splats, group_grid, config, cf);
+  config.binning = BinningMode::kVerify;  // hierarchical + flat identity audit
+  RenderCounters ch;
+  const BinnedSplats hier = identify_groups(splats, group_grid, config, ch);
+  EXPECT_EQ(cf.tile_pairs, ch.tile_pairs);
+  ASSERT_EQ(flat.offsets, hier.offsets);
+
+  // Bitmask generation walks candidate_cells per entry; the huge-rho splat
+  // must cover every tile of every group it reached.
+  RenderCounters mc;
+  const std::vector<TileMask> masks =
+      generate_bitmasks(splats, flat, tile_grid, config, mc);
+  ASSERT_EQ(masks.size(), flat.splat_ids.size());
+  for (std::size_t e = 0; e < masks.size(); ++e) {
+    if (flat.splat_ids[e] == 0) {
+      EXPECT_NE(masks[e], 0u) << "entry " << e;
+    }
+  }
 }
 
 TEST(Grouping, MismatchedMaskArrayThrows) {

@@ -111,18 +111,20 @@ TEST(BinSplats, CsrIsConsistent) {
   RenderCounters pc;
   const auto splats = preprocess(cloud, cam, RenderConfig{}, pc);
   const CellGrid g = CellGrid::over_image(cam.width(), cam.height(), 32);
-  RenderCounters counters;
-  const BinnedSplats bins = bin_splats(splats, g, Boundary::kEllipse, 0, counters);
+  for (const BinningMode m : {BinningMode::kFlat, BinningMode::kHierarchical}) {
+    RenderCounters counters;
+    const BinnedSplats bins = bin_splats(splats, g, Boundary::kEllipse, 0, counters, m);
 
-  ASSERT_EQ(bins.offsets.size(), static_cast<std::size_t>(g.cell_count()) + 1);
-  EXPECT_EQ(bins.offsets.front(), 0u);
-  EXPECT_EQ(bins.offsets.back(), bins.splat_ids.size());
-  EXPECT_EQ(bins.splat_ids.size(), counters.tile_pairs);
-  for (std::size_t c = 0; c + 1 < bins.offsets.size(); ++c) {
-    EXPECT_LE(bins.offsets[c], bins.offsets[c + 1]);
-  }
-  for (const std::uint32_t id : bins.splat_ids) {
-    EXPECT_LT(id, splats.size());
+    ASSERT_EQ(bins.offsets.size(), static_cast<std::size_t>(g.cell_count()) + 1);
+    EXPECT_EQ(bins.offsets.front(), 0u);
+    EXPECT_EQ(bins.offsets.back(), bins.splat_ids.size());
+    EXPECT_EQ(bins.splat_ids.size(), counters.tile_pairs);
+    for (std::size_t c = 0; c + 1 < bins.offsets.size(); ++c) {
+      EXPECT_LE(bins.offsets[c], bins.offsets[c + 1]);
+    }
+    for (const std::uint32_t id : bins.splat_ids) {
+      EXPECT_LT(id, splats.size());
+    }
   }
 }
 
@@ -132,16 +134,20 @@ TEST(BinSplats, DeterministicSetAcrossThreadCounts) {
   RenderCounters pc;
   const auto splats = preprocess(cloud, cam, RenderConfig{}, pc);
   const CellGrid g = CellGrid::over_image(cam.width(), cam.height(), 16);
-  RenderCounters c1, c4;
-  const BinnedSplats b1 = bin_splats(splats, g, Boundary::kEllipse, 1, c1);
-  const BinnedSplats b4 = bin_splats(splats, g, Boundary::kEllipse, 4, c4);
-  EXPECT_EQ(c1.tile_pairs, c4.tile_pairs);
-  ASSERT_EQ(b1.offsets, b4.offsets);
-  // Per-cell sets equal (order within a cell may differ before sorting).
-  for (int c = 0; c < g.cell_count(); ++c) {
-    std::multiset<std::uint32_t> s1(b1.cell_list(c).begin(), b1.cell_list(c).end());
-    std::multiset<std::uint32_t> s4(b4.cell_list(c).begin(), b4.cell_list(c).end());
-    EXPECT_EQ(s1, s4);
+  for (const BinningMode m : {BinningMode::kFlat, BinningMode::kHierarchical}) {
+    RenderCounters c1, c4;
+    const BinnedSplats b1 = bin_splats(splats, g, Boundary::kEllipse, 1, c1, m);
+    const BinnedSplats b4 = bin_splats(splats, g, Boundary::kEllipse, 4, c4, m);
+    EXPECT_EQ(c1.tile_pairs, c4.tile_pairs);
+    EXPECT_EQ(c1.boundary_tests, c4.boundary_tests);
+    EXPECT_EQ(c1.coarse_pairs, c4.coarse_pairs);
+    ASSERT_EQ(b1.offsets, b4.offsets);
+    // Per-cell sets equal (order within a cell may differ before sorting).
+    for (int c = 0; c < g.cell_count(); ++c) {
+      std::multiset<std::uint32_t> s1(b1.cell_list(c).begin(), b1.cell_list(c).end());
+      std::multiset<std::uint32_t> s4(b4.cell_list(c).begin(), b4.cell_list(c).end());
+      EXPECT_EQ(s1, s4);
+    }
   }
 }
 
