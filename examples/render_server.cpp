@@ -18,6 +18,7 @@
 #include "common/table.h"
 #include "common/timer.h"
 #include "core/pipeline.h"
+#include "dataset/load_scene.h"
 #include "render/framebuffer.h"
 #include "scene/scene.h"
 #include "service/render_service.h"
@@ -34,12 +35,34 @@ int main(int argc, char** argv) {
     if (clients == 0) throw std::invalid_argument("--clients must be >= 1");
     if (frames < 1) throw std::invalid_argument("--frames must be >= 1");
 
-    const Scene scene = generate_scene(scene_name);
-    const FrameSequence sequence = tour_frames(orbit_path(scene, 0.3f, 4), 2, 2);
-    std::vector<Camera> cameras(
-        sequence.cameras.begin(),
-        sequence.cameras.begin() +
-            std::min<std::size_t>(sequence.frame_count(), static_cast<std::size_t>(frames)));
+    // --scene accepts a synthetic recipe name or a dataset path (a COLMAP
+    // model dir, a transforms.json scene, or a .ply checkpoint — though a
+    // bare checkpoint carries no cameras to stream). The service resolves
+    // the same key through its scene cache, which routes through the same
+    // format-sniffing loader.
+    GaussianCloud cloud;
+    std::vector<Camera> cameras;
+    if (is_dataset_path(scene_name)) {
+      LoadedScene loaded = load_scene(scene_name);
+      if (loaded.cameras.empty()) {
+        throw std::invalid_argument("scene '" + scene_name + "' (" + loaded.source +
+                                    ") carries no cameras; use a COLMAP or transforms dataset "
+                                    "or a synthetic scene name");
+      }
+      cloud = std::move(loaded.cloud);
+      cameras.assign(loaded.cameras.begin(),
+                     loaded.cameras.begin() + std::min<std::size_t>(loaded.cameras.size(),
+                                                                    static_cast<std::size_t>(
+                                                                        frames)));
+    } else {
+      Scene scene = generate_scene(scene_name);
+      const FrameSequence sequence = tour_frames(orbit_path(scene, 0.3f, 4), 2, 2);
+      cameras.assign(sequence.cameras.begin(),
+                     sequence.cameras.begin() +
+                         std::min<std::size_t>(sequence.frame_count(),
+                                               static_cast<std::size_t>(frames)));
+      cloud = std::move(scene.cloud);
+    }
 
     ServiceConfig config;  // threads=1, temporal=kReuse
     config.workers = args.get_size("workers", 4);
@@ -48,8 +71,8 @@ int main(int argc, char** argv) {
 
     std::printf("render_server: '%s' (%zu gaussians, %dx%d), %zu clients x %zu frames, "
                 "%zu workers%s\n\n",
-                scene_name.c_str(), scene.cloud.size(), scene.render_width, scene.render_height,
-                clients, cameras.size(), config.workers,
+                scene_name.c_str(), cloud.size(), cameras.front().width(),
+                cameras.front().height(), clients, cameras.size(), config.workers,
                 config.verify ? ", verify gate ON" : "");
 
     RenderService service(config);
@@ -116,7 +139,7 @@ int main(int argc, char** argv) {
     // Spot-check bit-identity against the one-shot renderer.
     GsTgConfig reference_config = config.render;
     reference_config.temporal = TemporalMode::kOff;
-    const RenderResult oneshot = render_gstg(scene.cloud, cameras.front(), reference_config);
+    const RenderResult oneshot = render_gstg(cloud, cameras.front(), reference_config);
     const RenderResponse again =
         service.submit(RenderRequest{scene_name, cameras.front(), 0}).get();
     const bool identical = again.ok() && max_abs_diff(oneshot.image, again.image) == 0.0f;

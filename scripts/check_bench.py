@@ -41,6 +41,17 @@ What is compared, and why:
     depths and the 1 -> 4 client throughput scaling depend on timing and
     core count, so they are recorded but only compared under --check-times.
 
+  * Dataset/residency records (--dataset/--dataset-baseline pair of
+    BENCH_dataset.json files): per loader fixture, the sniffed source
+    format and the ingested gaussian/camera counts are pure functions of
+    the committed fixture bytes; per scene, the cloud size, checkpoint
+    bytes, resident-form bytes and the fp16-vs-float32 compression ratio
+    are machine-independent and must stay within tolerance. The fresh
+    run's fixtures_ok / compression_ok (resident bytes >= 2x smaller) /
+    verify_ok (streamed decode bit-identical to up-front decode) flags are
+    hard failures. Load/encode/render wall-clocks are compared only under
+    --check-times.
+
 Wall-clock fields (*_ms, speedups derived from them) are skipped by default:
 absolute times are machine-dependent and CI runners are noisy. Pass
 --check-times for same-machine comparisons (e.g. refreshing the baseline
@@ -55,6 +66,8 @@ Usage:
                  [--service-baseline=<baseline BENCH_service.json>]
                  [--binning=<fresh BENCH_binning.json>]
                  [--binning-baseline=<baseline BENCH_binning.json>]
+                 [--dataset=<fresh BENCH_dataset.json>]
+                 [--dataset-baseline=<baseline BENCH_dataset.json>]
 
 Baseline refresh procedure: see bench/README.md ("Perf-regression gate").
 """
@@ -88,6 +101,23 @@ BINNING_COUNTER_KEYS = [
     "splats_multi_tile",
 ]
 BINNING_RATIO_KEYS = ["test_reduction"]
+
+DATASET_FIXTURE_KEYS = ["gaussians", "cameras"]
+DATASET_COUNTER_KEYS = [
+    "gaussians",
+    "sh_degree",
+    "ply_bytes",
+    "resident_bytes",
+    "float32_bytes",
+]
+DATASET_RATIO_KEYS = ["compression_ratio"]
+DATASET_TIME_KEYS = [
+    "load_ms",
+    "encode_ms",
+    "float32_render_ms",
+    "compressed_render_ms",
+    "decode_overhead",
+]
 
 TEMPORAL_COUNTER_KEYS = [
     "groups_total",
@@ -241,6 +271,65 @@ def compare_binning(gate, fresh, baseline):
             )
 
 
+def compare_dataset(gate, fresh, baseline, check_times):
+    """Gates a fresh BENCH_dataset.json against the committed baseline."""
+    if fresh.get("scale", {}) != baseline.get("scale", {}):
+        gate.require(
+            "dataset",
+            False,
+            f"scale mismatch (fresh {fresh.get('scale')} vs baseline {baseline.get('scale')})",
+        )
+        return
+    gate.require(
+        "dataset",
+        fresh.get("fixtures_ok") in (True, "true"),
+        "a loader fixture was mis-sniffed or a PLY round-trip did not reproduce the cloud",
+    )
+    gate.require(
+        "dataset",
+        fresh.get("compression_ok") in (True, "true"),
+        "the fp16 resident form is no longer >= 2x smaller than the float32 SoA",
+    )
+    gate.require(
+        "dataset",
+        fresh.get("verify_ok") in (True, "true"),
+        "the streamed decode render is not bit-identical to the up-front decode render",
+    )
+    fresh_fixtures = {f["name"]: f for f in fresh.get("fixtures", [])}
+    for fixture in baseline.get("fixtures", []):
+        name = fixture["name"]
+        where = f"dataset.fixture.{name}"
+        if name not in fresh_fixtures:
+            gate.require(where, False, "fixture missing from fresh output")
+            continue
+        new = fresh_fixtures[name]
+        gate.require(
+            where,
+            new.get("source") == fixture.get("source"),
+            f"sniffed source changed ({new.get('source')} vs {fixture.get('source')})",
+        )
+        compare_section(gate, where, new, fixture, DATASET_FIXTURE_KEYS)
+        if check_times:
+            compare_section(gate, where, new, fixture, ["load_ms"])
+    fresh_scenes = {s["scene"]: s for s in fresh.get("scenes", [])}
+    for scene in baseline.get("scenes", []):
+        name = scene["scene"]
+        where = f"dataset.{name}"
+        if name not in fresh_scenes:
+            gate.require(where, False, "scene missing from fresh output")
+            continue
+        new = fresh_scenes[name]
+        compare_section(gate, where, new, scene, DATASET_COUNTER_KEYS)
+        compare_section(gate, where, new, scene, DATASET_RATIO_KEYS)
+        if check_times:
+            compare_section(gate, where, new, scene, DATASET_TIME_KEYS)
+        gate.require(
+            where,
+            new.get("verify_ok") in (True, "true"),
+            "kVerify failed or the streamed image diverged on this scene",
+        )
+
+
 def compare_service(gate, fresh, baseline, check_times):
     """Gates a fresh BENCH_service.json against the committed baseline."""
     if fresh.get("scale", {}) != baseline.get("scale", {}):
@@ -301,6 +390,8 @@ def main(argv):
     service_baseline_path = None
     binning_fresh_path = None
     binning_baseline_path = None
+    dataset_fresh_path = None
+    dataset_baseline_path = None
     for opt in opts:
         if opt.startswith("--tolerance="):
             tolerance = float(opt.split("=", 1)[1])
@@ -318,6 +409,10 @@ def main(argv):
             binning_fresh_path = opt.split("=", 1)[1]
         elif opt.startswith("--binning-baseline="):
             binning_baseline_path = opt.split("=", 1)[1]
+        elif opt.startswith("--dataset="):
+            dataset_fresh_path = opt.split("=", 1)[1]
+        elif opt.startswith("--dataset-baseline="):
+            dataset_baseline_path = opt.split("=", 1)[1]
         else:
             print(f"check_bench: unknown option {opt}")
             return 1
@@ -329,6 +424,9 @@ def main(argv):
         return 1
     if (binning_fresh_path is None) != (binning_baseline_path is None):
         print("check_bench: --binning and --binning-baseline must be given together")
+        return 1
+    if (dataset_fresh_path is None) != (dataset_baseline_path is None):
+        print("check_bench: --dataset and --dataset-baseline must be given together")
         return 1
 
     with open(args[0]) as f:
@@ -386,6 +484,12 @@ def main(argv):
                 new["batch"].get("identical_to_sequential") in (True, "true"),
                 "batch output diverged from sequential rendering",
             )
+        if "residency" in new:
+            gate.require(
+                f"{name}.residency",
+                new["residency"].get("identical_to_upfront") in (True, "true"),
+                "streamed compressed-residency render diverged from up-front decode",
+            )
         if "simd" in base:
             gate.require(
                 f"{name}.simd",
@@ -419,6 +523,13 @@ def main(argv):
         with open(binning_baseline_path) as f:
             binning_baseline = json.load(f)
         compare_binning(gate, binning_fresh, binning_baseline)
+
+    if dataset_fresh_path is not None:
+        with open(dataset_fresh_path) as f:
+            dataset_fresh = json.load(f)
+        with open(dataset_baseline_path) as f:
+            dataset_baseline = json.load(f)
+        compare_dataset(gate, dataset_fresh, dataset_baseline, check_times)
 
     if gate.failures:
         print(f"check_bench: FAIL — {len(gate.failures)} violation(s), {gate.checked} checks:")

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Regenerates the committed golden dataset fixtures under tests/data/.
+
+The fixtures are tiny but real: a COLMAP sparse model (binary and text
+serialisations with identical logical content) and a 2-frame NeRF-synthetic
+transforms.json. tests/dataset/test_dataset_golden.cpp pins exact values
+from these files, so regeneration must stay byte-stable: everything below
+is deterministic, and floating-point values are chosen to be exactly
+representable or written at full precision.
+
+Usage: python3 scripts/make_test_fixtures.py
+"""
+
+import json
+import os
+import struct
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DATA = os.path.join(ROOT, "tests", "data")
+
+# Logical model, shared by the binary and text writers ----------------------
+
+# (camera_id, model_name, model_id, width, height, params)
+CAMERAS = [
+    (1, "PINHOLE", 1, 640, 480, [500.0, 505.0, 320.0, 240.0]),
+    (2, "SIMPLE_PINHOLE", 0, 320, 240, [300.0, 160.0, 120.0]),
+]
+
+# 30-degree rotation about +y, written at full double precision.
+COS15 = 0.9659258262890683
+SIN15 = 0.25881904510252074
+
+# (image_id, qvec wxyz, tvec, camera_id, name, points2D [(x, y, point3d_id)])
+IMAGES = [
+    (10, (1.0, 0.0, 0.0, 0.0), (0.0, 0.0, 4.0), 1, "frame_000.png",
+     [(10.5, 20.25, 7), (30.0, 40.0, -1)]),
+    (11, (COS15, 0.0, SIN15, 0.0), (0.5, -0.25, 4.5), 2, "frame_001.png", []),
+    (12, (0.5, 0.5, 0.5, 0.5), (-1.0, 0.125, 3.75), 1, "frame_002.png",
+     [(5.0, 6.0, -1)]),
+]
+
+
+def make_points():
+    """12 SfM points on an exactly-representable lattice."""
+    points = []
+    for i in range(12):
+        xyz = (0.25 * i - 1.5, 0.5 * (i % 3) - 0.5, 0.25 * (i % 4) + 2.0)
+        rgb = ((10 * i) % 256, (17 * i + 5) % 256, (23 * i + 11) % 256)
+        track = [(10, i), (11, i)] if i % 2 == 0 else []
+        points.append((i + 1, xyz, rgb, 0.5, track))
+    return points
+
+
+POINTS = make_points()
+
+# Binary serialisation (COLMAP src/base/reconstruction.cc) ------------------
+
+
+def write_cameras_bin(path):
+    with open(path, "wb") as f:
+        f.write(struct.pack("<Q", len(CAMERAS)))
+        for cam_id, _, model_id, width, height, params in CAMERAS:
+            f.write(struct.pack("<IiQQ", cam_id, model_id, width, height))
+            f.write(struct.pack(f"<{len(params)}d", *params))
+
+
+def write_images_bin(path):
+    with open(path, "wb") as f:
+        f.write(struct.pack("<Q", len(IMAGES)))
+        for image_id, qvec, tvec, cam_id, name, points2d in IMAGES:
+            f.write(struct.pack("<I", image_id))
+            f.write(struct.pack("<4d", *qvec))
+            f.write(struct.pack("<3d", *tvec))
+            f.write(struct.pack("<I", cam_id))
+            f.write(name.encode() + b"\x00")
+            f.write(struct.pack("<Q", len(points2d)))
+            for x, y, p3d in points2d:
+                f.write(struct.pack("<ddq", x, y, p3d))
+
+
+def write_points_bin(path):
+    with open(path, "wb") as f:
+        f.write(struct.pack("<Q", len(POINTS)))
+        for p3d_id, xyz, rgb, error, track in POINTS:
+            f.write(struct.pack("<Q", p3d_id))
+            f.write(struct.pack("<3d", *xyz))
+            f.write(struct.pack("<3B", *rgb))
+            f.write(struct.pack("<d", error))
+            f.write(struct.pack("<Q", len(track)))
+            for image_id, p2d_idx in track:
+                f.write(struct.pack("<II", image_id, p2d_idx))
+
+
+# Text serialisation --------------------------------------------------------
+
+
+def fmt(value):
+    """Full-precision decimal that round-trips to the same double."""
+    return repr(float(value))
+
+
+def write_cameras_txt(path):
+    with open(path, "w") as f:
+        f.write("# Camera list: CAMERA_ID, MODEL, WIDTH, HEIGHT, PARAMS[]\n")
+        for cam_id, model, _, width, height, params in CAMERAS:
+            f.write(f"{cam_id} {model} {width} {height} "
+                    + " ".join(fmt(p) for p in params) + "\n")
+
+
+def write_images_txt(path):
+    with open(path, "w") as f:
+        f.write("# Image list: IMAGE_ID, QW, QX, QY, QZ, TX, TY, TZ, CAMERA_ID, NAME\n")
+        f.write("#   then POINTS2D[] as (X, Y, POINT3D_ID)\n")
+        for image_id, qvec, tvec, cam_id, name, points2d in IMAGES:
+            f.write(f"{image_id} " + " ".join(fmt(v) for v in qvec) + " "
+                    + " ".join(fmt(v) for v in tvec) + f" {cam_id} {name}\n")
+            f.write(" ".join(f"{fmt(x)} {fmt(y)} {p3d}" for x, y, p3d in points2d)
+                    + "\n")
+
+
+def write_points_txt(path):
+    with open(path, "w") as f:
+        f.write("# 3D point list: POINT3D_ID, X, Y, Z, R, G, B, ERROR, "
+                "TRACK[] as (IMAGE_ID, POINT2D_IDX)\n")
+        for p3d_id, xyz, rgb, error, track in POINTS:
+            f.write(f"{p3d_id} " + " ".join(fmt(v) for v in xyz) + " "
+                    + " ".join(str(c) for c in rgb) + f" {fmt(error)}"
+                    + "".join(f" {i} {j}" for i, j in track) + "\n")
+
+
+# transforms.json -----------------------------------------------------------
+
+
+def write_transforms(path):
+    doc = {
+        "camera_angle_x": 0.6911112070083618,
+        "w": 400,
+        "h": 300,
+        "frames": [
+            {
+                "file_path": "./train/r_0",
+                "transform_matrix": [
+                    [1.0, 0.0, 0.0, 0.0],
+                    [0.0, 1.0, 0.0, 0.0],
+                    [0.0, 0.0, 1.0, 4.0],
+                    [0.0, 0.0, 0.0, 1.0],
+                ],
+            },
+            {
+                "file_path": "./train/r_1",
+                "transform_matrix": [
+                    [0.0, 0.0, 1.0, 4.0],
+                    [0.0, 1.0, 0.0, 0.0],
+                    [-1.0, 0.0, 0.0, 0.0],
+                    [0.0, 0.0, 0.0, 1.0],
+                ],
+            },
+        ],
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+def main():
+    colmap_bin = os.path.join(DATA, "colmap_mini", "sparse", "0")
+    colmap_txt = os.path.join(DATA, "colmap_mini_text")
+    os.makedirs(colmap_bin, exist_ok=True)
+    os.makedirs(colmap_txt, exist_ok=True)
+
+    write_cameras_bin(os.path.join(colmap_bin, "cameras.bin"))
+    write_images_bin(os.path.join(colmap_bin, "images.bin"))
+    write_points_bin(os.path.join(colmap_bin, "points3D.bin"))
+
+    write_cameras_txt(os.path.join(colmap_txt, "cameras.txt"))
+    write_images_txt(os.path.join(colmap_txt, "images.txt"))
+    write_points_txt(os.path.join(colmap_txt, "points3D.txt"))
+
+    write_transforms(os.path.join(DATA, "transforms_mini.json"))
+    print(f"fixtures written under {DATA}")
+
+
+if __name__ == "__main__":
+    main()

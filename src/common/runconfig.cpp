@@ -84,6 +84,36 @@ const char* to_string(BinningMode mode) {
   return "?";
 }
 
+ResidencyMode residency_mode_from_env(ResidencyMode fallback) {
+  const char* env = std::getenv("GSTG_RESIDENCY");
+  if (env == nullptr) return fallback;
+  const std::string value = env;
+  if (value == "float32") return ResidencyMode::kFloat32;
+  if (value == "compressed") return ResidencyMode::kCompressed;
+  if (value == "verify") return ResidencyMode::kVerify;
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "gstg: unknown GSTG_RESIDENCY value '%s' (expected "
+                 "float32/compressed/verify), keeping the configured mode\n",
+                 env);
+  }
+  return fallback;
+}
+
+const char* to_string(ResidencyMode mode) {
+  switch (mode) {
+    case ResidencyMode::kFloat32:
+      return "float32";
+    case ResidencyMode::kCompressed:
+      return "compressed";
+    case ResidencyMode::kVerify:
+      return "verify";
+  }
+  return "?";
+}
+
 std::size_t env_positive_size(const char* name, std::size_t fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr) return fallback;

@@ -86,4 +86,25 @@ BinningMode binning_mode_from_env(BinningMode fallback);
 
 [[nodiscard]] const char* to_string(BinningMode mode);
 
+/// Resident representation of the Gaussian cloud inside the renderer
+/// (gaussian/compressed.h). Lives here, next to the other run modes, so
+/// core's config can carry the knob without depending on the compressed
+/// form's implementation.
+///   kFloat32    — render from the full-precision float32 SoA (a compressed
+///                 input is decoded up front into frame scratch)
+///   kCompressed — keep only the fp16 SoA resident and decode fixed-size
+///                 blocks on touch inside preprocess (half the resident
+///                 bytes, the memory-bandwidth execution model of the
+///                 129FPS Full-HD accelerator)
+///   kVerify     — decode the full cloud up front AND stream-decode, then
+///                 assert the two renders are bit-identical (the audit mode)
+enum class ResidencyMode : std::uint8_t { kFloat32, kCompressed, kVerify };
+
+/// Reads GSTG_RESIDENCY from the environment ("float32" / "compressed" /
+/// "verify"). Unset returns `fallback`; an unknown value is ignored with a
+/// one-time warning, mirroring GSTG_TEMPORAL / GSTG_BINNING.
+ResidencyMode residency_mode_from_env(ResidencyMode fallback);
+
+[[nodiscard]] const char* to_string(ResidencyMode mode);
+
 }  // namespace gstg

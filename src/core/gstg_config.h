@@ -46,6 +46,13 @@ struct GsTgConfig {
   /// pass and the baseline comparison runs render_config() feeds; every
   /// mode produces identical hit sets, so the lossless gate is unaffected.
   BinningMode binning = BinningMode::kAuto;
+  /// Resident-form policy of the compressed render path — only consulted by
+  /// Renderer::render(const CompressedCloud&, ...) (GSTG_RESIDENCY
+  /// overrides): kCompressed (the default) streams fp16 blocks through
+  /// per-worker decode scratch, kFloat32 decodes the whole cloud up front,
+  /// and kVerify runs both preprocesses and throws ResidencyError unless
+  /// the streamed splat stream is bit-identical to the up-front one.
+  ResidencyMode residency = ResidencyMode::kCompressed;
   std::size_t threads = 0;  ///< 0 = auto
 
   /// The RenderConfig this GS-TG config implies for the stages shared with

@@ -1,0 +1,543 @@
+#include "dataset/colmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace gstg {
+
+namespace {
+
+constexpr std::size_t kMaxSize = std::numeric_limits<std::size_t>::max();
+/// Reservation sanity cap, as in the PLY reader: a malicious count with a
+/// tiny payload must die on the truncation check, not on a huge up-front
+/// allocation.
+constexpr std::size_t kReserveCap = std::size_t{1} << 20;
+
+/// COLMAP intrinsic models we can map onto the pinhole Camera. Models with
+/// distortion coefficients are accepted only when every coefficient is
+/// zero — we do not undistort.
+struct CameraModel {
+  const char* name;
+  int model_id;
+  std::size_t param_count;
+  std::size_t distortion_begin;  ///< first distortion coefficient index (== param_count if none)
+};
+
+constexpr CameraModel kModels[] = {
+    {"SIMPLE_PINHOLE", 0, 3, 3},
+    {"PINHOLE", 1, 4, 4},
+    {"SIMPLE_RADIAL", 2, 4, 3},
+    {"RADIAL", 3, 5, 3},
+    {"OPENCV", 4, 8, 4},
+};
+
+const CameraModel& model_by_id(int model_id) {
+  for (const CameraModel& m : kModels) {
+    if (m.model_id == model_id) return m;
+  }
+  throw DatasetError("cameras: unsupported camera model id " + std::to_string(model_id));
+}
+
+const CameraModel& model_by_name(const std::string& name) {
+  for (const CameraModel& m : kModels) {
+    if (name == m.name) return m;
+  }
+  throw DatasetError("cameras: unsupported camera model '" + name + "'");
+}
+
+struct ColmapCamera {
+  int width = 0;
+  int height = 0;
+  float fx = 0, fy = 0, cx = 0, cy = 0;
+};
+
+struct ColmapImage {
+  std::uint32_t image_id = 0;
+  Quat qvec;  // world->camera rotation, w x y z
+  Vec3 tvec;  // world->camera translation
+  std::uint32_t camera_id = 0;
+  std::string name;
+};
+
+struct ColmapPoint {
+  Vec3 xyz;
+  Vec3 rgb;  // [0, 1]
+};
+
+/// Maps a validated (model, params) pair to intrinsics. `what` names the
+/// entity for error messages ("camera 3").
+ColmapCamera make_camera(const CameraModel& model, std::uint64_t width, std::uint64_t height,
+                         const std::vector<double>& params, const std::string& what) {
+  if (width == 0 || height == 0 || width > 1u << 20 || height > 1u << 20) {
+    throw DatasetError(what + ": image size " + std::to_string(width) + "x" +
+                       std::to_string(height) + " out of range");
+  }
+  if (params.size() != model.param_count) {
+    throw DatasetError(what + ": model " + model.name + " expects " +
+                       std::to_string(model.param_count) + " params, got " +
+                       std::to_string(params.size()));
+  }
+  for (const double p : params) {
+    if (!std::isfinite(p)) throw DatasetError(what + ": non-finite intrinsic parameter");
+  }
+  for (std::size_t i = model.distortion_begin; i < params.size(); ++i) {
+    if (params[i] != 0.0) {
+      throw DatasetError(what + ": model " + model.name +
+                         " has non-zero distortion (we do not undistort)");
+    }
+  }
+  ColmapCamera cam;
+  cam.width = static_cast<int>(width);
+  cam.height = static_cast<int>(height);
+  // SIMPLE_* models share one focal length; PINHOLE/OPENCV split fx/fy.
+  const bool split_focal = model.model_id == 1 || model.model_id == 4;
+  cam.fx = static_cast<float>(params[0]);
+  cam.fy = static_cast<float>(split_focal ? params[1] : params[0]);
+  cam.cx = static_cast<float>(params[split_focal ? 2 : 1]);
+  cam.cy = static_cast<float>(params[split_focal ? 3 : 2]);
+  if (!(cam.fx > 0.0f) || !(cam.fy > 0.0f)) {
+    throw DatasetError(what + ": non-positive focal length");
+  }
+  return cam;
+}
+
+void validate_pose(const ColmapImage& image) {
+  const std::string what = "images: image " + std::to_string(image.image_id);
+  const Quat& q = image.qvec;
+  for (const float v : {q.w, q.x, q.y, q.z}) {
+    if (!std::isfinite(v)) throw DatasetError(what + ": non-finite rotation quaternion");
+  }
+  const float norm2 = q.w * q.w + q.x * q.x + q.y * q.y + q.z * q.z;
+  if (!(norm2 > 1e-12f)) throw DatasetError(what + ": zero-norm rotation quaternion");
+  for (const float v : {image.tvec.x, image.tvec.y, image.tvec.z}) {
+    if (!std::isfinite(v)) throw DatasetError(what + ": non-finite translation");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binary serialisation.
+
+/// Checked little-endian primitive reads: a short read names the entity and
+/// byte count instead of handing back whatever arrived.
+void read_bytes(std::istream& in, void* dst, std::size_t bytes, const std::string& what) {
+  in.read(static_cast<char*>(dst), static_cast<std::streamsize>(bytes));
+  if (!in || static_cast<std::size_t>(in.gcount()) != bytes) {
+    throw DatasetError(what + " (got " + std::to_string(std::max<std::streamsize>(in.gcount(), 0)) +
+                       " of " + std::to_string(bytes) + " bytes)");
+  }
+}
+
+template <typename T>
+T read_pod(std::istream& in, const std::string& what) {
+  T value;
+  read_bytes(in, &value, sizeof(T), what);
+  return value;
+}
+
+std::map<std::uint32_t, ColmapCamera> read_cameras_bin(std::istream& in) {
+  const auto count = read_pod<std::uint64_t>(in, "cameras.bin: truncated camera count");
+  std::map<std::uint32_t, ColmapCamera> cameras;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string what = "cameras.bin: truncated camera " + std::to_string(i) + " of " +
+                             std::to_string(count);
+    const auto camera_id = read_pod<std::uint32_t>(in, what);
+    const auto model_id = read_pod<std::int32_t>(in, what);
+    const auto width = read_pod<std::uint64_t>(in, what);
+    const auto height = read_pod<std::uint64_t>(in, what);
+    const CameraModel& model = model_by_id(model_id);
+    std::vector<double> params(model.param_count);
+    read_bytes(in, params.data(), model.param_count * sizeof(double), what);
+    const bool inserted =
+        cameras
+            .emplace(camera_id, make_camera(model, width, height, params,
+                                            "cameras: camera " + std::to_string(camera_id)))
+            .second;
+    if (!inserted) {
+      throw DatasetError("cameras: duplicate camera id " + std::to_string(camera_id));
+    }
+  }
+  return cameras;
+}
+
+std::vector<ColmapImage> read_images_bin(std::istream& in) {
+  const auto count = read_pod<std::uint64_t>(in, "images.bin: truncated image count");
+  std::vector<ColmapImage> images;
+  images.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(count, kReserveCap)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string what = "images.bin: truncated image " + std::to_string(i) + " of " +
+                             std::to_string(count);
+    ColmapImage image;
+    image.image_id = read_pod<std::uint32_t>(in, what);
+    double q[4], t[3];
+    read_bytes(in, q, sizeof(q), what);
+    read_bytes(in, t, sizeof(t), what);
+    image.qvec = {static_cast<float>(q[0]), static_cast<float>(q[1]), static_cast<float>(q[2]),
+                  static_cast<float>(q[3])};
+    image.tvec = {static_cast<float>(t[0]), static_cast<float>(t[1]), static_cast<float>(t[2])};
+    image.camera_id = read_pod<std::uint32_t>(in, what);
+    // Null-terminated name; a missing terminator is a truncation.
+    for (;;) {
+      const auto c = read_pod<char>(in, what + " (unterminated image name)");
+      if (c == '\0') break;
+      if (image.name.size() >= 4096) {
+        throw DatasetError("images.bin: image name exceeds 4096 bytes (unterminated?)");
+      }
+      image.name.push_back(c);
+    }
+    // The 2D observations are not used for rendering, but the payload must
+    // still be consumed and accounted: guard count * stride first.
+    const auto num_points2d = read_pod<std::uint64_t>(in, what);
+    constexpr std::size_t kPoint2dBytes = 2 * sizeof(double) + sizeof(std::uint64_t);
+    if (num_points2d > kMaxSize / kPoint2dBytes) {
+      throw DatasetError("images.bin: image " + std::to_string(image.image_id) + " point2D count " +
+                         std::to_string(num_points2d) + " overflows the payload size");
+    }
+    // Read (not seek past) the observation payload in bounded chunks: a
+    // seekg beyond EOF does not fail until the next read, which would let a
+    // truncated trailing payload slip through for the final image.
+    std::vector<char> sink(static_cast<std::size_t>(
+        std::min<std::uint64_t>(num_points2d * kPoint2dBytes, kReserveCap)));
+    for (std::uint64_t consumed = 0; consumed < num_points2d * kPoint2dBytes;) {
+      const std::size_t chunk = static_cast<std::size_t>(
+          std::min<std::uint64_t>(sink.size(), num_points2d * kPoint2dBytes - consumed));
+      read_bytes(in, sink.data(), chunk,
+                 what + " (short point2D payload of " + std::to_string(num_points2d) +
+                     " entries)");
+      consumed += chunk;
+    }
+    images.push_back(std::move(image));
+  }
+  return images;
+}
+
+std::vector<ColmapPoint> read_points3d_bin(std::istream& in) {
+  const auto count = read_pod<std::uint64_t>(in, "points3D.bin: truncated point count");
+  std::vector<ColmapPoint> points;
+  points.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(count, kReserveCap)));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string what = "points3D.bin: truncated point " + std::to_string(i) + " of " +
+                             std::to_string(count);
+    (void)read_pod<std::uint64_t>(in, what);  // point3D_id
+    double xyz[3];
+    read_bytes(in, xyz, sizeof(xyz), what);
+    std::uint8_t rgb[3];
+    read_bytes(in, rgb, sizeof(rgb), what);
+    (void)read_pod<double>(in, what);  // reprojection error
+    const auto track_len = read_pod<std::uint64_t>(in, what);
+    constexpr std::size_t kTrackBytes = 2 * sizeof(std::uint32_t);
+    if (track_len > kMaxSize / kTrackBytes) {
+      throw DatasetError("points3D.bin: point " + std::to_string(i) + " track length " +
+                         std::to_string(track_len) + " overflows the payload size");
+    }
+    std::vector<char> track(static_cast<std::size_t>(std::min<std::uint64_t>(
+        track_len * kTrackBytes, kReserveCap * kTrackBytes)));
+    for (std::uint64_t consumed = 0; consumed < track_len * kTrackBytes;) {
+      const std::size_t chunk = static_cast<std::size_t>(
+          std::min<std::uint64_t>(track.size(), track_len * kTrackBytes - consumed));
+      read_bytes(in, track.data(), chunk, what + " (short track payload)");
+      consumed += chunk;
+    }
+    ColmapPoint point;
+    point.xyz = {static_cast<float>(xyz[0]), static_cast<float>(xyz[1]),
+                 static_cast<float>(xyz[2])};
+    for (const float v : {point.xyz.x, point.xyz.y, point.xyz.z}) {
+      if (!std::isfinite(v)) {
+        throw DatasetError("points3D.bin: point " + std::to_string(i) +
+                           " has a non-finite position");
+      }
+    }
+    point.rgb = {static_cast<float>(rgb[0]) / 255.0f, static_cast<float>(rgb[1]) / 255.0f,
+                 static_cast<float>(rgb[2]) / 255.0f};
+    points.push_back(point);
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// Text serialisation.
+
+/// Yields payload lines of a COLMAP text file: comments ('#') and blank
+/// lines skipped, trailing CR stripped. `keep_blank` preserves empty lines
+/// (images.txt encodes an image with no observations as an empty line).
+bool next_line(std::istream& in, std::string& line, bool keep_blank = false) {
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty() && line[0] == '#') continue;
+    if (line.empty() && !keep_blank) continue;
+    return true;
+  }
+  return false;
+}
+
+/// Full-token numeric parses: trailing garbage in a token ("8x12", "8.5"
+/// for an integer) is an error, never a silent truncation.
+double parse_double(const std::string& token, const std::string& what) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    throw DatasetError(what + ": garbled number '" + token + "'");
+  }
+  if (consumed != token.size()) {
+    throw DatasetError(what + ": garbled number '" + token + "'");
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(const std::string& token, const std::string& what) {
+  if (token.empty() || token[0] == '-') {
+    throw DatasetError(what + ": garbled count '" + token + "'");
+  }
+  std::size_t consumed = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(token, &consumed);
+  } catch (const std::exception&) {
+    throw DatasetError(what + ": garbled count '" + token + "'");
+  }
+  if (consumed != token.size()) {
+    throw DatasetError(what + ": garbled count '" + token + "'");
+  }
+  return value;
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::istringstream ss(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (ss >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::map<std::uint32_t, ColmapCamera> read_cameras_txt(std::istream& in) {
+  std::map<std::uint32_t, ColmapCamera> cameras;
+  std::string line;
+  std::size_t row = 0;
+  while (next_line(in, line)) {
+    const std::string what = "cameras.txt row " + std::to_string(row);
+    const std::vector<std::string> tokens = split_tokens(line);
+    if (tokens.size() < 4) {
+      throw DatasetError(what + ": expected CAMERA_ID MODEL WIDTH HEIGHT PARAMS[], got '" + line +
+                         "'");
+    }
+    const std::uint64_t camera_id = parse_u64(tokens[0], what);
+    const CameraModel& model = model_by_name(tokens[1]);
+    const std::uint64_t width = parse_u64(tokens[2], what);
+    const std::uint64_t height = parse_u64(tokens[3], what);
+    std::vector<double> params;
+    params.reserve(tokens.size() - 4);
+    for (std::size_t i = 4; i < tokens.size(); ++i) {
+      params.push_back(parse_double(tokens[i], what));
+    }
+    const bool inserted =
+        cameras
+            .emplace(static_cast<std::uint32_t>(camera_id),
+                     make_camera(model, width, height, params,
+                                 "cameras: camera " + std::to_string(camera_id)))
+            .second;
+    if (!inserted) {
+      throw DatasetError("cameras: duplicate camera id " + std::to_string(camera_id));
+    }
+    ++row;
+  }
+  return cameras;
+}
+
+std::vector<ColmapImage> read_images_txt(std::istream& in) {
+  std::vector<ColmapImage> images;
+  std::string line;
+  while (next_line(in, line)) {
+    const std::string what = "images.txt image " + std::to_string(images.size());
+    const std::vector<std::string> tokens = split_tokens(line);
+    if (tokens.size() != 10) {
+      throw DatasetError(what + ": expected IMAGE_ID QW QX QY QZ TX TY TZ CAMERA_ID NAME (10 "
+                         "tokens), got " + std::to_string(tokens.size()));
+    }
+    ColmapImage image;
+    image.image_id = static_cast<std::uint32_t>(parse_u64(tokens[0], what));
+    double q[4], t[3];
+    for (int i = 0; i < 4; ++i) q[i] = parse_double(tokens[1 + i], what);
+    for (int i = 0; i < 3; ++i) t[i] = parse_double(tokens[5 + i], what);
+    image.qvec = {static_cast<float>(q[0]), static_cast<float>(q[1]), static_cast<float>(q[2]),
+                  static_cast<float>(q[3])};
+    image.tvec = {static_cast<float>(t[0]), static_cast<float>(t[1]), static_cast<float>(t[2])};
+    image.camera_id = static_cast<std::uint32_t>(parse_u64(tokens[8], what));
+    image.name = tokens[9];
+    // The observations line follows immediately (possibly empty). Its
+    // entries come in X Y POINT3D_ID triples; anything else is garbled.
+    std::string obs;
+    if (!next_line(in, obs, /*keep_blank=*/true)) {
+      throw DatasetError(what + ": missing points2D line");
+    }
+    const std::vector<std::string> obs_tokens = split_tokens(obs);
+    if (obs_tokens.size() % 3 != 0) {
+      throw DatasetError(what + ": points2D line has " + std::to_string(obs_tokens.size()) +
+                         " tokens (not a multiple of 3)");
+    }
+    for (std::size_t i = 0; i < obs_tokens.size(); i += 3) {
+      (void)parse_double(obs_tokens[i], what);
+      (void)parse_double(obs_tokens[i + 1], what);
+      // POINT3D_ID may be -1 for unmatched observations.
+      if (obs_tokens[i + 2] != "-1") (void)parse_u64(obs_tokens[i + 2], what);
+    }
+    images.push_back(std::move(image));
+  }
+  return images;
+}
+
+std::vector<ColmapPoint> read_points3d_txt(std::istream& in) {
+  std::vector<ColmapPoint> points;
+  std::string line;
+  while (next_line(in, line)) {
+    const std::string what = "points3D.txt point " + std::to_string(points.size());
+    const std::vector<std::string> tokens = split_tokens(line);
+    if (tokens.size() < 8 || (tokens.size() - 8) % 2 != 0) {
+      throw DatasetError(what + ": expected POINT3D_ID X Y Z R G B ERROR TRACK[], got " +
+                         std::to_string(tokens.size()) + " tokens");
+    }
+    ColmapPoint point;
+    point.xyz = {static_cast<float>(parse_double(tokens[1], what)),
+                 static_cast<float>(parse_double(tokens[2], what)),
+                 static_cast<float>(parse_double(tokens[3], what))};
+    for (const float v : {point.xyz.x, point.xyz.y, point.xyz.z}) {
+      if (!std::isfinite(v)) throw DatasetError(what + ": non-finite position");
+    }
+    float rgb[3];
+    for (int c = 0; c < 3; ++c) {
+      const std::uint64_t channel = parse_u64(tokens[4 + c], what);
+      if (channel > 255) {
+        throw DatasetError(what + ": colour channel " + std::to_string(channel) + " > 255");
+      }
+      rgb[c] = static_cast<float>(channel) / 255.0f;
+    }
+    point.rgb = {rgb[0], rgb[1], rgb[2]};
+    (void)parse_double(tokens[7], what);  // reprojection error
+    for (std::size_t i = 8; i < tokens.size(); ++i) (void)parse_u64(tokens[i], what);
+    points.push_back(point);
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// Assembly.
+
+/// The standard 3D-GS initialisation from SfM points: DC-only colour,
+/// opacity 0.1, identity rotation, isotropic scale from the mean point
+/// spacing (bbox extent over cbrt(count) — deterministic, no kNN pass).
+GaussianCloud cloud_from_points(const std::vector<ColmapPoint>& points) {
+  GaussianCloud cloud(0);
+  cloud.reserve(points.size());
+  if (points.empty()) return cloud;
+
+  Vec3 lo = points[0].xyz, hi = points[0].xyz;
+  for (const ColmapPoint& p : points) {
+    lo = {std::min(lo.x, p.xyz.x), std::min(lo.y, p.xyz.y), std::min(lo.z, p.xyz.z)};
+    hi = {std::max(hi.x, p.xyz.x), std::max(hi.y, p.xyz.y), std::max(hi.z, p.xyz.z)};
+  }
+  const Vec3 diag = hi - lo;
+  const float extent = std::max(length(diag), 1e-3f);
+  const float spacing = extent / std::cbrt(static_cast<float>(points.size()));
+  const float scale = std::max(0.5f * spacing, 1e-4f);
+
+  constexpr float kY0 = 0.28209479177387814f;
+  float sh[3];
+  for (const ColmapPoint& p : points) {
+    sh[0] = (p.rgb.x - 0.5f) / kY0;
+    sh[1] = (p.rgb.y - 0.5f) / kY0;
+    sh[2] = (p.rgb.z - 0.5f) / kY0;
+    cloud.add(p.xyz, {scale, scale, scale}, {1.0f, 0.0f, 0.0f, 0.0f}, 0.1f, sh);
+  }
+  return cloud;
+}
+
+Camera camera_from_image(const ColmapImage& image,
+                         const std::map<std::uint32_t, ColmapCamera>& cameras) {
+  validate_pose(image);
+  const auto it = cameras.find(image.camera_id);
+  if (it == cameras.end()) {
+    throw DatasetError("images: image " + std::to_string(image.image_id) +
+                       " references unknown camera id " + std::to_string(image.camera_id));
+  }
+  const ColmapCamera& cam = it->second;
+  // COLMAP extrinsics are already world->camera in OpenCV axes: build
+  // [R(q) | t] directly.
+  const Mat3 rot = rotation_matrix(image.qvec);
+  Mat4 w2c = Mat4::identity();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) w2c(i, j) = rot.m[i][j];
+  }
+  w2c(0, 3) = image.tvec.x;
+  w2c(1, 3) = image.tvec.y;
+  w2c(2, 3) = image.tvec.z;
+  return Camera(cam.width, cam.height, cam.fx, cam.fy, cam.cx, cam.cy, w2c);
+}
+
+std::ifstream open_or_throw(const std::filesystem::path& path, bool binary) {
+  std::ifstream in(path, binary ? std::ios::binary : std::ios::in);
+  if (!in) throw DatasetError("cannot open " + path.string());
+  return in;
+}
+
+}  // namespace
+
+bool is_colmap_dir(const std::string& dir) {
+  std::error_code ec;
+  const std::filesystem::path base(dir);
+  return std::filesystem::is_regular_file(base / "cameras.bin", ec) ||
+         std::filesystem::is_regular_file(base / "cameras.txt", ec);
+}
+
+LoadedScene read_colmap_scene(const std::string& dir) {
+  const std::filesystem::path base(dir);
+  std::error_code ec;
+  const bool binary = std::filesystem::is_regular_file(base / "cameras.bin", ec);
+  if (!binary && !std::filesystem::is_regular_file(base / "cameras.txt", ec)) {
+    throw DatasetError("no cameras.bin or cameras.txt in " + dir);
+  }
+
+  std::map<std::uint32_t, ColmapCamera> cameras;
+  std::vector<ColmapImage> images;
+  std::vector<ColmapPoint> points;
+  if (binary) {
+    auto cam_in = open_or_throw(base / "cameras.bin", true);
+    cameras = read_cameras_bin(cam_in);
+    auto img_in = open_or_throw(base / "images.bin", true);
+    images = read_images_bin(img_in);
+    auto pts_in = open_or_throw(base / "points3D.bin", true);
+    points = read_points3d_bin(pts_in);
+  } else {
+    auto cam_in = open_or_throw(base / "cameras.txt", false);
+    cameras = read_cameras_txt(cam_in);
+    auto img_in = open_or_throw(base / "images.txt", false);
+    images = read_images_txt(img_in);
+    auto pts_in = open_or_throw(base / "points3D.txt", false);
+    points = read_points3d_txt(pts_in);
+  }
+
+  LoadedScene scene;
+  scene.source = binary ? "colmap-binary" : "colmap-text";
+  scene.cloud = cloud_from_points(points);
+  scene.cameras.reserve(images.size());
+  scene.camera_names.reserve(images.size());
+  std::vector<std::uint32_t> seen_ids;
+  seen_ids.reserve(images.size());
+  for (const ColmapImage& image : images) {
+    if (std::find(seen_ids.begin(), seen_ids.end(), image.image_id) != seen_ids.end()) {
+      throw DatasetError("images: duplicate image id " + std::to_string(image.image_id));
+    }
+    seen_ids.push_back(image.image_id);
+    scene.cameras.push_back(camera_from_image(image, cameras));
+    scene.camera_names.push_back(image.name);
+  }
+  return scene;
+}
+
+}  // namespace gstg

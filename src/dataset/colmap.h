@@ -1,0 +1,32 @@
+// COLMAP sparse-model reader: cameras / images / points3D in both the
+// binary and text serialisations, producing calibrated Cameras plus a
+// GaussianCloud initialised from the SfM points (the standard 3D-GS
+// training initialisation: DC colour from the point RGB, low opacity,
+// isotropic scale from the point-cloud extent).
+//
+// Conventions: COLMAP extrinsics are world->camera (X_cam = R(q) X_world
+// + t) in the OpenCV axes (+x right, +y down, +z forward) — exactly this
+// repo's Camera model, so poses map over without axis surgery. Supported
+// intrinsic models: SIMPLE_PINHOLE, PINHOLE, and SIMPLE_RADIAL / RADIAL /
+// OPENCV when every distortion coefficient is zero (we do not undistort;
+// a model with real distortion is a typed error, not a silently wrong
+// projection).
+#pragma once
+
+#include <string>
+
+#include "dataset/dataset.h"
+
+namespace gstg {
+
+/// Reads a COLMAP sparse model from `dir`, which must contain cameras,
+/// images and points3D as either `.bin` (binary) or `.txt` (text) — the
+/// binary form wins when both exist. Throws DatasetError on any malformed,
+/// truncated or inconsistent input (see dataset/dataset.h).
+LoadedScene read_colmap_scene(const std::string& dir);
+
+/// True when `dir` holds a sparse model this reader understands (a
+/// cameras.bin or cameras.txt is present). Never throws.
+bool is_colmap_dir(const std::string& dir);
+
+}  // namespace gstg

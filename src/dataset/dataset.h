@@ -1,0 +1,47 @@
+// Real-scene ingestion layer: typed errors and the loaded-scene product
+// shared by the COLMAP sparse-model reader (dataset/colmap.h), the
+// NeRF-synthetic transforms.json reader (dataset/transforms.h) and the
+// format-sniffing entry point (dataset/load_scene.h).
+//
+// Every reader follows the hardened-PLY discipline (gaussian/ply_io.h):
+// counts and sizes from the file are attacker-controlled, so size
+// computations are overflow-guarded, reservations are capped, short reads
+// are truncation errors with row/byte accounting, and a value that fails to
+// parse is a typed error — never a silently empty scene.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "camera/camera.h"
+#include "gaussian/cloud.h"
+
+namespace gstg {
+
+/// Typed error for every dataset parse/read failure: missing or unreadable
+/// files, garbled counts or tokens, truncated payloads, size overflows,
+/// duplicate ids, non-finite parameters, and unsupported camera models.
+/// Derives from std::runtime_error so generic catch sites keep working
+/// while the service maps dataset failures to a typed client error.
+class DatasetError : public std::runtime_error {
+ public:
+  explicit DatasetError(const std::string& message)
+      : std::runtime_error("dataset: " + message) {}
+};
+
+/// A scene ingested from disk: the Gaussian cloud (SfM-point init for
+/// COLMAP, seeded random init for transforms.json, checkpoint parameters
+/// for PLY) plus the calibrated cameras in file order. `camera_names`
+/// parallels `cameras` (image names / frame file_paths); PLY checkpoints
+/// carry no cameras, so both lists may be empty.
+struct LoadedScene {
+  GaussianCloud cloud;
+  std::vector<Camera> cameras;
+  std::vector<std::string> camera_names;
+  /// Which reader produced the scene: "colmap-binary", "colmap-text",
+  /// "transforms" or "ply".
+  std::string source;
+};
+
+}  // namespace gstg

@@ -1,0 +1,79 @@
+#include "dataset/load_scene.h"
+
+#include <filesystem>
+
+#include "dataset/colmap.h"
+#include "dataset/transforms.h"
+#include "gaussian/ply_io.h"
+
+namespace gstg {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool has_suffix(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Resolves the COLMAP model directory for a scene root: the root itself,
+/// or the conventional sparse/0 / sparse nesting. Empty when none matches.
+std::string colmap_dir_for(const fs::path& root) {
+  const fs::path candidates[] = {root, root / "sparse" / "0", root / "sparse"};
+  for (const fs::path& candidate : candidates) {
+    if (is_colmap_dir(candidate.string())) return candidate.string();
+  }
+  return {};
+}
+
+std::string transforms_file_for(const fs::path& root) {
+  std::error_code ec;
+  for (const char* name : {"transforms.json", "transforms_train.json"}) {
+    const fs::path candidate = root / name;
+    if (fs::is_regular_file(candidate, ec)) return candidate.string();
+  }
+  return {};
+}
+
+}  // namespace
+
+bool is_dataset_path(const std::string& path) {
+  std::error_code ec;
+  if (fs::is_regular_file(path, ec)) {
+    return has_suffix(path, ".ply") || has_suffix(path, ".json");
+  }
+  if (fs::is_directory(path, ec)) {
+    return !transforms_file_for(path).empty() || !colmap_dir_for(path).empty();
+  }
+  return false;
+}
+
+LoadedScene load_scene(const std::string& path) {
+  std::error_code ec;
+  if (fs::is_regular_file(path, ec)) {
+    if (has_suffix(path, ".ply")) {
+      LoadedScene scene;
+      scene.cloud = read_gaussian_ply_file(path);
+      scene.source = "ply";
+      return scene;
+    }
+    if (has_suffix(path, ".json")) {
+      return read_transforms_scene_file(path);
+    }
+    throw DatasetError("unrecognised scene file '" + path +
+                       "' (expected a .ply checkpoint or a transforms .json)");
+  }
+  if (fs::is_directory(path, ec)) {
+    const std::string transforms = transforms_file_for(path);
+    if (!transforms.empty()) return read_transforms_scene_file(transforms);
+    const std::string colmap = colmap_dir_for(path);
+    if (!colmap.empty()) return read_colmap_scene(colmap);
+    throw DatasetError("directory '" + path +
+                       "' holds no transforms.json and no COLMAP model "
+                       "(looked for cameras.{bin,txt} in ., sparse/0, sparse)");
+  }
+  throw DatasetError("no scene at '" + path + "' (not a file or directory)");
+}
+
+}  // namespace gstg

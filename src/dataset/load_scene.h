@@ -1,0 +1,29 @@
+// Format-sniffing scene loader: one entry point that accepts a 3D-GS PLY
+// checkpoint, a transforms.json file, a NeRF-synthetic scene directory, or
+// a COLMAP sparse-model directory (including the conventional sparse/0
+// nesting), and dispatches to the matching reader.
+#pragma once
+
+#include <string>
+
+#include "dataset/dataset.h"
+
+namespace gstg {
+
+/// Loads the scene at `path`:
+///  - a regular file ending in .ply        -> gaussian/ply_io.h reader,
+///  - a regular file ending in .json       -> dataset/transforms.h reader,
+///  - a directory holding transforms.json  -> dataset/transforms.h reader,
+///  - a directory holding a COLMAP model (cameras.{bin,txt} directly or
+///    under sparse/0 or sparse)            -> dataset/colmap.h reader.
+/// Anything else — including a path that does not exist — is a
+/// DatasetError naming what was looked for; PLY failures keep their
+/// PlyError type. Never returns a silently empty scene.
+LoadedScene load_scene(const std::string& path);
+
+/// True when `path` looks like something load_scene can ingest (used by
+/// callers that fall back to the synthetic scene registry otherwise).
+/// Never throws.
+bool is_dataset_path(const std::string& path);
+
+}  // namespace gstg

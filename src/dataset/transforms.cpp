@@ -1,0 +1,389 @@
+#include "dataset/transforms.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/mat.h"
+
+namespace gstg {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser: just what transforms.json needs (objects, arrays,
+// numbers, strings, bools, null), with typed errors carrying the byte
+// offset. Input is untrusted, so nesting depth is bounded and every number
+// must parse completely.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after the JSON document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw DatasetError("transforms.json: " + message + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', found '" + text_[pos_] + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than " + std::to_string(kMaxDepth));
+    JsonValue value;
+    const char c = peek();
+    if (c == '{') {
+      ++pos_;
+      value.kind = JsonValue::Kind::kObject;
+      if (peek() == '}') {
+        ++pos_;
+        return value;
+      }
+      for (;;) {
+        if (peek() != '"') fail("object key must be a string");
+        std::string key = parse_string_body();
+        expect(':');
+        JsonValue member = parse_value(depth + 1);
+        for (const auto& [existing, unused] : value.object) {
+          (void)unused;
+          if (existing == key) fail("duplicate object key '" + key + "'");
+        }
+        value.object.emplace_back(std::move(key), std::move(member));
+        const char next = peek();
+        if (next == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return value;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      value.kind = JsonValue::Kind::kArray;
+      if (peek() == ']') {
+        ++pos_;
+        return value;
+      }
+      for (;;) {
+        value.array.push_back(parse_value(depth + 1));
+        const char next = peek();
+        if (next == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return value;
+      }
+    }
+    if (c == '"') {
+      value.kind = JsonValue::Kind::kString;
+      value.str = parse_string_body();
+      return value;
+    }
+    if (consume_literal("true")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (consume_literal("false")) {
+      value.kind = JsonValue::Kind::kBool;
+      return value;
+    }
+    if (consume_literal("null")) return value;
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      value.kind = JsonValue::Kind::kNumber;
+      const char* begin = text_.c_str() + pos_;
+      char* end = nullptr;
+      value.number = std::strtod(begin, &end);
+      if (end == begin) fail("garbled number");
+      pos_ += static_cast<std::size_t>(end - begin);
+      return value;
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  /// Parses a string starting at the opening quote. Escapes are decoded;
+  /// \uXXXX escapes outside ASCII are replaced with '?' (names and paths in
+  /// transforms files are ASCII in practice, and nothing downstream decodes
+  /// text beyond identity).
+  std::string parse_string_body() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape at end of input");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("garbled \\u escape");
+          }
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default: fail(std::string("unknown escape '\\") + esc + "'");
+      }
+    }
+    fail("unterminated string");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Semantic extraction.
+
+double require_number(const JsonValue& object, const std::string& key, const std::string& what) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) throw DatasetError(what + ": missing key '" + key + "'");
+  if (value->kind != JsonValue::Kind::kNumber) {
+    throw DatasetError(what + ": key '" + key + "' is not a number");
+  }
+  if (!std::isfinite(value->number)) {
+    throw DatasetError(what + ": key '" + key + "' is not finite");
+  }
+  return value->number;
+}
+
+double number_or(const JsonValue& object, const std::string& key, double fallback,
+                 const std::string& what) {
+  if (object.find(key) == nullptr) return fallback;
+  return require_number(object, key, what);
+}
+
+/// Extracts and validates one frame's camera-to-world matrix (OpenGL axes).
+Mat4 parse_transform_matrix(const JsonValue& frame, const std::string& what) {
+  const JsonValue* matrix = frame.find("transform_matrix");
+  if (matrix == nullptr || matrix->kind != JsonValue::Kind::kArray) {
+    throw DatasetError(what + ": missing transform_matrix array");
+  }
+  if (matrix->array.size() != 4) {
+    throw DatasetError(what + ": transform_matrix has " + std::to_string(matrix->array.size()) +
+                       " rows (want 4)");
+  }
+  Mat4 c2w;
+  for (int i = 0; i < 4; ++i) {
+    const JsonValue& row = matrix->array[static_cast<std::size_t>(i)];
+    if (row.kind != JsonValue::Kind::kArray || row.array.size() != 4) {
+      throw DatasetError(what + ": transform_matrix row " + std::to_string(i) + " is not 4 wide");
+    }
+    for (int j = 0; j < 4; ++j) {
+      const JsonValue& cell = row.array[static_cast<std::size_t>(j)];
+      if (cell.kind != JsonValue::Kind::kNumber || !std::isfinite(cell.number)) {
+        throw DatasetError(what + ": transform_matrix[" + std::to_string(i) + "][" +
+                           std::to_string(j) + "] is not a finite number");
+      }
+      c2w(i, j) = static_cast<float>(cell.number);
+    }
+  }
+  for (int j = 0; j < 4; ++j) {
+    const float want = j == 3 ? 1.0f : 0.0f;
+    if (std::fabs(c2w(3, j) - want) > 1e-4f) {
+      throw DatasetError(what + ": transform_matrix last row is not (0, 0, 0, 1)");
+    }
+  }
+  return c2w;
+}
+
+void require_orthonormal(const Mat3& r, const std::string& what) {
+  // R^T R must be the identity within tolerance — rigid_inverse silently
+  // produces a wrong pose for a sheared/scaled block.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      float dot = 0.0f;
+      for (int k = 0; k < 3; ++k) dot += r.m[k][i] * r.m[k][j];
+      const float want = i == j ? 1.0f : 0.0f;
+      if (std::fabs(dot - want) > 1e-3f) {
+        throw DatasetError(what + ": transform_matrix rotation block is not orthonormal");
+      }
+    }
+  }
+}
+
+/// Deterministic random initialisation inside the NeRF-synthetic bounds.
+GaussianCloud init_cloud(const TransformsOptions& options) {
+  GaussianCloud cloud(0);
+  cloud.reserve(options.init_gaussians);
+  Rng rng("transforms-init");
+  const float half = options.init_half_extent;
+  const float spacing =
+      2.0f * half / std::cbrt(static_cast<float>(std::max<std::size_t>(options.init_gaussians, 1)));
+  const float scale = std::max(0.5f * spacing, 1e-4f);
+  for (std::size_t i = 0; i < options.init_gaussians; ++i) {
+    const Vec3 pos{rng.uniform(-half, half), rng.uniform(-half, half), rng.uniform(-half, half)};
+    const Vec3 rgb{rng.uniform(0.2f, 0.8f), rng.uniform(0.2f, 0.8f), rng.uniform(0.2f, 0.8f)};
+    cloud.add_solid(pos, {scale, scale, scale}, {1.0f, 0.0f, 0.0f, 0.0f}, 0.1f, rgb);
+  }
+  return cloud;
+}
+
+}  // namespace
+
+LoadedScene read_transforms_scene(std::istream& in, const TransformsOptions& options) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw DatasetError("transforms.json: read failure");
+  const std::string text = buffer.str();
+  if (text.empty()) throw DatasetError("transforms.json: empty file");
+
+  const JsonValue root = JsonParser(text).parse();
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw DatasetError("transforms.json: root is not an object");
+  }
+
+  const std::string what = "transforms.json";
+  const double width_d = number_or(root, "w", 800.0, what);
+  const double height_d = number_or(root, "h", 800.0, what);
+  if (width_d < 1.0 || height_d < 1.0 || width_d > double{1u << 20} ||
+      height_d > double{1u << 20}) {
+    throw DatasetError("transforms.json: image size out of range");
+  }
+  const int width = static_cast<int>(width_d);
+  const int height = static_cast<int>(height_d);
+
+  float fx = 0.0f;
+  float fy = 0.0f;
+  if (root.find("fl_x") != nullptr) {
+    fx = static_cast<float>(require_number(root, "fl_x", what));
+    fy = static_cast<float>(number_or(root, "fl_y", fx, what));
+  } else {
+    const double angle_x = require_number(root, "camera_angle_x", what);
+    if (!(angle_x > 0.0) || !(angle_x < static_cast<double>(kPi))) {
+      throw DatasetError("transforms.json: camera_angle_x " + std::to_string(angle_x) +
+                         " outside (0, pi)");
+    }
+    fx = 0.5f * static_cast<float>(width) / std::tan(0.5f * static_cast<float>(angle_x));
+    fy = fx;
+  }
+  if (!(fx > 0.0f) || !(fy > 0.0f)) {
+    throw DatasetError("transforms.json: non-positive focal length");
+  }
+  const float cx = static_cast<float>(number_or(root, "cx", 0.5 * width_d, what));
+  const float cy = static_cast<float>(number_or(root, "cy", 0.5 * height_d, what));
+
+  const JsonValue* frames = root.find("frames");
+  if (frames == nullptr || frames->kind != JsonValue::Kind::kArray) {
+    throw DatasetError("transforms.json: missing frames array");
+  }
+  if (frames->array.empty()) {
+    throw DatasetError("transforms.json: frames array is empty");
+  }
+
+  LoadedScene scene;
+  scene.source = "transforms";
+  scene.cameras.reserve(frames->array.size());
+  scene.camera_names.reserve(frames->array.size());
+  for (std::size_t i = 0; i < frames->array.size(); ++i) {
+    const JsonValue& frame = frames->array[i];
+    const std::string frame_what = "transforms.json frame " + std::to_string(i);
+    if (frame.kind != JsonValue::Kind::kObject) {
+      throw DatasetError(frame_what + ": not an object");
+    }
+    Mat4 c2w = parse_transform_matrix(frame, frame_what);
+    // OpenGL camera axes (+y up, -z forward) -> OpenCV (+y down, +z
+    // forward): negate the y and z basis columns of the rotation block.
+    for (int r = 0; r < 3; ++r) {
+      c2w(r, 1) = -c2w(r, 1);
+      c2w(r, 2) = -c2w(r, 2);
+    }
+    require_orthonormal(c2w.rotation_block(), frame_what);
+    scene.cameras.emplace_back(width, height, fx, fy, cx, cy, rigid_inverse(c2w));
+
+    const JsonValue* file_path = frame.find("file_path");
+    if (file_path != nullptr && file_path->kind != JsonValue::Kind::kString) {
+      throw DatasetError(frame_what + ": file_path is not a string");
+    }
+    scene.camera_names.push_back(file_path != nullptr ? file_path->str
+                                                      : "frame_" + std::to_string(i));
+  }
+
+  scene.cloud = init_cloud(options);
+  return scene;
+}
+
+LoadedScene read_transforms_scene_file(const std::string& path, const TransformsOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DatasetError("cannot open " + path);
+  return read_transforms_scene(in, options);
+}
+
+}  // namespace gstg

@@ -1,0 +1,39 @@
+// NeRF-synthetic `transforms.json` reader: camera_angle_x (or explicit
+// fl_x/fl_y intrinsics) plus a frames[] array of camera-to-world matrices
+// in the OpenGL/Blender convention (+x right, +y up, -z forward). Poses are
+// converted to this repo's OpenCV-style world->camera transforms (negate
+// the y and z basis columns, then invert the rigid transform).
+//
+// The format carries no point cloud, so the Gaussian cloud is a
+// deterministic seeded random initialisation inside the NeRF-synthetic
+// bounding box — the same (file, options) always produces the identical
+// scene, which is what the loader determinism tests pin down.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "dataset/dataset.h"
+
+namespace gstg {
+
+/// Options for the synthetic cloud a transforms.json scene starts from.
+struct TransformsOptions {
+  /// Gaussians in the random initialisation (seeded from the literal
+  /// "transforms-init": deterministic across platforms and runs).
+  std::size_t init_gaussians = 8192;
+  /// Half-extent of the init box, matching the NeRF-synthetic world bounds.
+  float init_half_extent = 1.5f;
+};
+
+/// Parses a transforms.json stream/file. Throws DatasetError on malformed
+/// JSON, missing or mistyped keys, non-finite values, a transform_matrix
+/// that is not 4x4, whose last row is not (0,0,0,1), or whose rotation
+/// block is not orthonormal (rigid_inverse would silently produce a wrong
+/// pose otherwise).
+LoadedScene read_transforms_scene(std::istream& in, const TransformsOptions& options = {});
+LoadedScene read_transforms_scene_file(const std::string& path,
+                                       const TransformsOptions& options = {});
+
+}  // namespace gstg

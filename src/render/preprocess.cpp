@@ -50,4 +50,63 @@ void preprocess_into(const GaussianCloud& cloud, const Camera& camera,
   counters.visible_gaussians += out.size();
 }
 
+void preprocess_compressed_into(const CompressedCloud& cloud, const Camera& camera,
+                                const RenderConfig& config, RenderCounters& counters,
+                                std::vector<ProjectedSplat>& out, PreprocessScratch& scratch,
+                                DecodeScratch& decode) {
+  const std::size_t n = cloud.size();
+  counters.input_gaussians += n;
+
+  std::vector<ProjectedSplat>& slots = scratch.slots;
+  if (slots.size() < n) slots.resize(n);
+  std::vector<std::uint8_t>& keep = scratch.keep;
+  keep.assign(n, 0);
+
+  // One chunk cloud per worker index, sized before the parallel region so
+  // the workers never touch the vector-of-clouds structure itself. The
+  // chunk vectors grow to kDecodeBlock capacity on the first frame and are
+  // reused thereafter (zero steady-state allocations).
+  const std::size_t workers = planned_worker_count(n, config.threads);
+  if (decode.chunks.size() < workers) decode.chunks.resize(workers);
+
+  const SimdKernels& kernels = simd_kernels(resolve_simd_backend(config.simd.backend));
+  const Vec3 cam_pos = camera.position();
+
+  parallel_for_chunks(0, n, [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+    GaussianCloud& chunk = decode.chunks[worker];
+    // Stream kDecodeBlock-sized blocks: decode into the worker's chunk
+    // cloud, then run the kernel with chunk-local indices and slot/keep
+    // pointers offset to the block's absolute position. Block starts are
+    // lane-aligned relative to the worker chunk (512 is a multiple of every
+    // lane width), so the masked partial lane block occurs exactly where
+    // the full-cloud path has it: at the worker-chunk end.
+    for (std::size_t slo = lo; slo < hi; slo += kDecodeBlock) {
+      const std::size_t send = slo + kDecodeBlock < hi ? slo + kDecodeBlock : hi;
+      cloud.decode_range(slo, send, chunk);
+
+      PreprocessChunkArgs args;
+      args.cloud = &chunk;
+      args.camera = &camera;
+      args.opacity_aware_rho = config.opacity_aware_rho;
+      args.cam_pos = cam_pos;
+      args.slots = slots.data() + slo;
+      args.keep = keep.data() + slo;
+      kernels.preprocess_chunk(args, 0, send - slo);
+
+      // The kernel stamped chunk-local indices; restore absolute ones so
+      // binning/sorting/temporal reuse see the real cloud indices.
+      for (std::size_t i = slo; i < send; ++i) {
+        if (keep[i]) slots[i].index = static_cast<std::uint32_t>(i);
+      }
+    }
+  }, config.threads);
+
+  out.clear();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keep[i]) out.push_back(slots[i]);
+  }
+  counters.visible_gaussians += out.size();
+}
+
 }  // namespace gstg

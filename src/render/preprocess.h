@@ -7,6 +7,7 @@
 
 #include "camera/camera.h"
 #include "gaussian/cloud.h"
+#include "gaussian/compressed.h"
 #include "render/types.h"
 
 namespace gstg {
@@ -39,5 +40,30 @@ std::vector<ProjectedSplat> preprocess(const GaussianCloud& cloud, const Camera&
 void preprocess_into(const GaussianCloud& cloud, const Camera& camera,
                      const RenderConfig& config, RenderCounters& counters,
                      std::vector<ProjectedSplat>& out, PreprocessScratch& scratch);
+
+/// Per-worker float32 staging for the streamed-decode preprocess: one small
+/// chunk cloud per worker (kDecodeBlock Gaussians each), reused across
+/// frames so the steady state allocates nothing. The float32 form of the
+/// whole cloud never exists — resident state stays fp16.
+struct DecodeScratch {
+  std::vector<GaussianCloud> chunks;
+};
+
+/// Gaussians decoded per block in the streamed preprocess. A multiple of
+/// every SIMD lane width (1/4/8), so block boundaries land exactly where
+/// the full-cloud kernel's lane blocks do — the partial (masked) lane block
+/// only ever occurs at the worker-chunk end, in both paths, which is what
+/// makes the streamed decode bit-identical to the up-front decode.
+inline constexpr std::size_t kDecodeBlock = 512;
+
+/// preprocess_into over the compressed resident form: per worker, decodes
+/// kDecodeBlock-Gaussian blocks into `decode` scratch and runs the same
+/// SIMD projection kernels over them. Output (splats, order, counters) is
+/// bit-identical to preprocess_into(cloud.decode(), ...) — the
+/// ResidencyMode::kVerify audit in core/renderer.h asserts this per frame.
+void preprocess_compressed_into(const CompressedCloud& cloud, const Camera& camera,
+                                const RenderConfig& config, RenderCounters& counters,
+                                std::vector<ProjectedSplat>& out, PreprocessScratch& scratch,
+                                DecodeScratch& decode);
 
 }  // namespace gstg

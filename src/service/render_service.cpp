@@ -7,6 +7,7 @@
 
 #include "common/runconfig.h"
 #include "core/pipeline.h"
+#include "dataset/dataset.h"
 #include "gaussian/ply_io.h"
 
 namespace gstg {
@@ -340,6 +341,9 @@ void RenderService::worker_loop() {
     try {
       cloud = cache_.acquire(key);
     } catch (const PlyError& e) {
+      load_status = ServiceStatus::kSceneLoadFailed;
+      load_error = e.what();
+    } catch (const DatasetError& e) {
       load_status = ServiceStatus::kSceneLoadFailed;
       load_error = e.what();
     } catch (const std::invalid_argument& e) {

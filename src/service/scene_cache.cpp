@@ -1,9 +1,11 @@
 #include "service/scene_cache.h"
 
+#include <filesystem>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "dataset/load_scene.h"
 #include "gaussian/ply_io.h"
 #include "scene/scene.h"
 
@@ -12,6 +14,13 @@ namespace gstg {
 GaussianCloud load_scene_or_ply(const std::string& key) {
   const bool is_ply = key.size() >= 4 && key.compare(key.size() - 4, 4, ".ply") == 0;
   if (is_ply) return read_gaussian_ply_file(key);
+  // A key naming something on disk is a dataset path (COLMAP model dir,
+  // transforms.json scene, ...): route it through the format-sniffing
+  // loader, whose typed DatasetError the service maps to a client error.
+  // An existing path the loader does not recognise must surface that typed
+  // error too — not fall through to an "unknown scene name" lookup.
+  std::error_code ec;
+  if (std::filesystem::exists(key, ec)) return std::move(load_scene(key).cloud);
   return std::move(generate_scene(key).cloud);
 }
 

@@ -33,8 +33,10 @@ struct SceneCacheStats {
 };
 
 /// Default cache loader: a key ending in ".ply" is read from the
-/// filesystem (throws PlyError on malformed/truncated files); any other key
-/// names a synthetic scene recipe at the env-selected RunScale (throws
+/// filesystem (throws PlyError on malformed/truncated files); a key naming
+/// an existing file or directory goes through the format-sniffing dataset
+/// loader (throws DatasetError on malformed/unrecognised input); any other
+/// key names a synthetic scene recipe at the env-selected RunScale (throws
 /// std::invalid_argument for unknown names).
 GaussianCloud load_scene_or_ply(const std::string& key);
 

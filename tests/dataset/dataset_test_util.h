@@ -1,0 +1,61 @@
+// Shared helpers for the dataset loader tests: little-endian byte builders
+// for COLMAP binary payloads and a self-cleaning temp directory to lay
+// model files into (read_colmap_scene ingests directories, not streams).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace gstg::testutil {
+
+inline void append_bytes(std::string& out, const void* data, std::size_t bytes) {
+  out.append(static_cast<const char*>(data), bytes);
+}
+
+inline void append_u8(std::string& out, std::uint8_t v) { append_bytes(out, &v, sizeof(v)); }
+inline void append_u32(std::string& out, std::uint32_t v) { append_bytes(out, &v, sizeof(v)); }
+inline void append_i32(std::string& out, std::int32_t v) { append_bytes(out, &v, sizeof(v)); }
+inline void append_u64(std::string& out, std::uint64_t v) { append_bytes(out, &v, sizeof(v)); }
+inline void append_f64(std::string& out, double v) { append_bytes(out, &v, sizeof(v)); }
+
+/// Unique scratch directory under the system temp dir, removed on scope
+/// exit. Each instance gets a fresh name so parallel ctest shards never
+/// collide.
+class TempDir {
+ public:
+  TempDir() {
+    static std::atomic<std::uint64_t> counter{0};
+    const auto id = counter.fetch_add(1);
+    path_ = std::filesystem::temp_directory_path() /
+            ("gstg_dataset_test_" + std::to_string(::getpid()) + "_" + std::to_string(id));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  void write_file(const std::string& name, const std::string& bytes) const {
+    std::ofstream out(path_ / name, std::ios::binary);
+    ASSERT_TRUE(out.is_open()) << "cannot create " << (path_ / name);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace gstg::testutil

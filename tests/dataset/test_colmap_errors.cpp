@@ -1,0 +1,389 @@
+// Malformed-COLMAP corpus, mirroring the hardened-PLY discipline
+// (tests/gaussian/test_ply_errors.cpp): truncated binaries, garbled counts,
+// overflowing size computations, non-finite poses, duplicate ids and absurd
+// reservations must all raise typed DatasetErrors — never a silently empty
+// scene, a crash, or a multi-terabyte allocation.
+#include "dataset/colmap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "dataset/load_scene.h"
+#include "dataset_test_util.h"
+
+namespace gstg {
+namespace {
+
+using testutil::append_f64;
+using testutil::append_i32;
+using testutil::append_u32;
+using testutil::append_u64;
+using testutil::append_u8;
+using testutil::TempDir;
+
+// ---------------------------------------------------------------------------
+// Parameterised builders for a small valid binary model; each test corrupts
+// exactly one knob.
+
+struct CameraSpec {
+  std::uint32_t camera_id = 1;
+  std::int32_t model_id = 1;  // PINHOLE
+  std::uint64_t width = 640;
+  std::uint64_t height = 480;
+  double fx = 500.0, fy = 505.0, cx = 320.0, cy = 240.0;
+};
+
+std::string cameras_bin(const CameraSpec& a, const CameraSpec& b = {.camera_id = 2}) {
+  std::string out;
+  append_u64(out, 2);
+  for (const CameraSpec& cam : {a, b}) {
+    append_u32(out, cam.camera_id);
+    append_i32(out, cam.model_id);
+    append_u64(out, cam.width);
+    append_u64(out, cam.height);
+    for (const double p : {cam.fx, cam.fy, cam.cx, cam.cy}) append_f64(out, p);
+  }
+  return out;
+}
+
+struct ImageSpec {
+  std::uint32_t image_id = 10;
+  double qw = 1.0, qx = 0.0, qy = 0.0, qz = 0.0;
+  double tx = 0.0, ty = 0.0, tz = 4.0;
+  std::uint32_t camera_id = 1;
+  std::string name = "frame.png";
+  std::uint64_t num_points2d = 0;
+};
+
+std::string one_image(const ImageSpec& img) {
+  std::string out;
+  append_u32(out, img.image_id);
+  for (const double v : {img.qw, img.qx, img.qy, img.qz}) append_f64(out, v);
+  for (const double v : {img.tx, img.ty, img.tz}) append_f64(out, v);
+  append_u32(out, img.camera_id);
+  out += img.name;
+  out.push_back('\0');
+  append_u64(out, img.num_points2d);
+  // Adversarial counts (the overflow-guard tests) get the count only; the
+  // reader must die on the guard or the truncation check, so the builder
+  // never materialises a huge payload.
+  for (std::uint64_t i = 0; i < std::min<std::uint64_t>(img.num_points2d, 64); ++i) {
+    append_f64(out, 1.0);
+    append_f64(out, 2.0);
+    append_u64(out, 0);
+  }
+  return out;
+}
+
+std::string images_bin(const ImageSpec& a, const ImageSpec& b = {.image_id = 11}) {
+  std::string out;
+  append_u64(out, 2);
+  out += one_image(a);
+  out += one_image(b);
+  return out;
+}
+
+std::string points_bin(std::size_t count, double x0 = 0.0, std::uint64_t track_len = 1) {
+  std::string out;
+  append_u64(out, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    append_u64(out, i + 1);
+    append_f64(out, x0 + 0.25 * static_cast<double>(i));
+    append_f64(out, 0.5);
+    append_f64(out, 2.0);
+    append_u8(out, 200);
+    append_u8(out, 100);
+    append_u8(out, 50);
+    append_f64(out, 0.5);
+    append_u64(out, track_len);
+    for (std::uint64_t t = 0; t < track_len; ++t) {
+      append_u32(out, 10);
+      append_u32(out, static_cast<std::uint32_t>(t));
+    }
+  }
+  return out;
+}
+
+/// Lays the three payloads into a fresh model dir and parses it.
+LoadedScene parse_model(const std::string& cameras, const std::string& images,
+                        const std::string& points) {
+  TempDir dir;
+  dir.write_file("cameras.bin", cameras);
+  dir.write_file("images.bin", images);
+  dir.write_file("points3D.bin", points);
+  return read_colmap_scene(dir.path().string());
+}
+
+void expect_dataset_error(const std::string& cameras, const std::string& images,
+                          const std::string& points, const std::string& message_fragment) {
+  try {
+    (void)parse_model(cameras, images, points);
+    FAIL() << "expected DatasetError containing '" << message_fragment << "'";
+  } catch (const DatasetError& e) {
+    EXPECT_NE(std::string(e.what()).find(message_fragment), std::string::npos) << e.what();
+  }
+}
+
+std::string truncate(std::string bytes, std::size_t drop) {
+  EXPECT_LT(drop, bytes.size());
+  bytes.resize(bytes.size() - drop);
+  return bytes;
+}
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// ---------------------------------------------------------------------------
+
+TEST(ColmapErrors, ValidBinaryModelStillParses) {
+  const LoadedScene scene = parse_model(cameras_bin({}), images_bin({}), points_bin(4));
+  EXPECT_EQ(scene.cloud.size(), 4u);
+  EXPECT_EQ(scene.cameras.size(), 2u);
+  EXPECT_EQ(scene.source, "colmap-binary");
+}
+
+TEST(ColmapErrors, TruncatedCamerasBin) {
+  expect_dataset_error(truncate(cameras_bin({}), 1), images_bin({}), points_bin(1),
+                       "truncated camera");
+  expect_dataset_error("", images_bin({}), points_bin(1), "truncated camera count");
+}
+
+TEST(ColmapErrors, HugeCameraCountWithTinyPayloadIsTruncationNotOom) {
+  std::string cams;
+  append_u64(cams, std::numeric_limits<std::uint64_t>::max());
+  expect_dataset_error(cams, images_bin({}), points_bin(1), "truncated camera 0");
+}
+
+TEST(ColmapErrors, UnsupportedCameraModelId) {
+  expect_dataset_error(cameras_bin({.model_id = 99}), images_bin({}), points_bin(1),
+                       "unsupported camera model id 99");
+}
+
+TEST(ColmapErrors, DuplicateCameraId) {
+  expect_dataset_error(cameras_bin({}, {.camera_id = 1}), images_bin({}), points_bin(1),
+                       "duplicate camera id 1");
+}
+
+TEST(ColmapErrors, AbsurdImageSizeRejected) {
+  expect_dataset_error(cameras_bin({.width = 0}), images_bin({}), points_bin(1),
+                       "image size");
+  expect_dataset_error(cameras_bin({.height = std::uint64_t{1} << 40}), images_bin({}),
+                       points_bin(1), "image size");
+}
+
+TEST(ColmapErrors, NonFiniteIntrinsicsRejected) {
+  expect_dataset_error(cameras_bin({.fx = kNan}), images_bin({}), points_bin(1),
+                       "non-finite intrinsic");
+  expect_dataset_error(cameras_bin({.fx = -500.0}), images_bin({}), points_bin(1),
+                       "non-positive focal");
+}
+
+TEST(ColmapErrors, NonZeroDistortionRejected) {
+  // SIMPLE_RADIAL with k != 0: we do not undistort, so this must be a typed
+  // error rather than a silently wrong projection.
+  std::string cams;
+  append_u64(cams, 1);
+  append_u32(cams, 1);
+  append_i32(cams, 2);  // SIMPLE_RADIAL
+  append_u64(cams, 640);
+  append_u64(cams, 480);
+  for (const double p : {500.0, 320.0, 240.0, 0.1}) append_f64(cams, p);
+  expect_dataset_error(cams, images_bin({}), points_bin(1), "non-zero distortion");
+}
+
+TEST(ColmapErrors, TruncatedImagesBin) {
+  expect_dataset_error(cameras_bin({}), truncate(images_bin({}), 3), points_bin(1),
+                       "truncated image");
+  expect_dataset_error(cameras_bin({}), "", points_bin(1), "truncated image count");
+}
+
+TEST(ColmapErrors, UnterminatedImageNameIsTruncation) {
+  // Cut inside the trailing image's name: the null terminator never arrives.
+  std::string imgs;
+  append_u64(imgs, 1);
+  std::string body = one_image({});
+  body.resize(body.find("frame.png") + 3);
+  imgs += body;
+  expect_dataset_error(cameras_bin({}), imgs, points_bin(1), "unterminated image name");
+}
+
+TEST(ColmapErrors, NonFinitePoseRejected) {
+  expect_dataset_error(cameras_bin({}), images_bin({.qw = kNan}), points_bin(1),
+                       "non-finite rotation quaternion");
+  expect_dataset_error(cameras_bin({}),
+                       images_bin({.qw = 0.0, .qx = 0.0, .qy = 0.0, .qz = 0.0}), points_bin(1),
+                       "zero-norm rotation quaternion");
+  expect_dataset_error(cameras_bin({}), images_bin({.tz = kNan}), points_bin(1),
+                       "non-finite translation");
+}
+
+TEST(ColmapErrors, DuplicateImageId) {
+  expect_dataset_error(cameras_bin({}), images_bin({}, {.image_id = 10}), points_bin(1),
+                       "duplicate image id 10");
+}
+
+TEST(ColmapErrors, UnknownCameraReference) {
+  expect_dataset_error(cameras_bin({}), images_bin({.camera_id = 77}), points_bin(1),
+                       "unknown camera id 77");
+}
+
+TEST(ColmapErrors, Point2dCountOverflowGuarded) {
+  // count * 24 bytes overflows std::size_t: the guard must fire before any
+  // allocation or read.
+  expect_dataset_error(cameras_bin({}),
+                       images_bin({.num_points2d = std::numeric_limits<std::uint64_t>::max()}),
+                       points_bin(1), "overflows the payload size");
+}
+
+TEST(ColmapErrors, HugePoint2dCountWithTinyPayloadIsTruncationNotOom) {
+  // Large but non-overflowing count, no payload behind it: dies on the
+  // bounded-chunk read, not on a giant reservation.
+  std::string imgs;
+  append_u64(imgs, 1);
+  std::string body = one_image({});
+  body.resize(body.size() - sizeof(std::uint64_t));
+  append_u64(body, std::uint64_t{1} << 40);
+  imgs += body;
+  expect_dataset_error(cameras_bin({}), imgs, points_bin(1), "short point2D payload");
+}
+
+TEST(ColmapErrors, TruncatedPointsBin) {
+  expect_dataset_error(cameras_bin({}), images_bin({}), truncate(points_bin(4), 2),
+                       "truncated point");
+  expect_dataset_error(cameras_bin({}), images_bin({}), "", "truncated point count");
+}
+
+TEST(ColmapErrors, NonFinitePointPositionRejected) {
+  expect_dataset_error(cameras_bin({}), images_bin({}), points_bin(2, kNan),
+                       "non-finite position");
+}
+
+TEST(ColmapErrors, TrackLengthOverflowGuarded) {
+  std::string pts = points_bin(1, 0.0, 0);
+  pts.resize(pts.size() - sizeof(std::uint64_t));  // drop the track_len field
+  append_u64(pts, std::numeric_limits<std::uint64_t>::max());
+  expect_dataset_error(cameras_bin({}), images_bin({}), pts, "overflows the payload size");
+}
+
+TEST(ColmapErrors, HugeTrackLengthWithTinyPayloadIsTruncationNotOom) {
+  std::string body = points_bin(1, 0.0, 0);
+  body.resize(body.size() - sizeof(std::uint64_t));
+  append_u64(body, std::uint64_t{1} << 40);
+  expect_dataset_error(cameras_bin({}), images_bin({}), body, "short track payload");
+}
+
+TEST(ColmapErrors, MissingModelFiles) {
+  TempDir dir;
+  dir.write_file("cameras.bin", cameras_bin({}));
+  try {
+    (void)read_colmap_scene(dir.path().string());
+    FAIL() << "expected DatasetError";
+  } catch (const DatasetError& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos) << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Text serialisation corpus.
+
+constexpr char kCamerasTxt[] = "# comment\n1 PINHOLE 640 480 500.0 505.0 320.0 240.0\n";
+constexpr char kImagesTxt[] =
+    "10 1.0 0.0 0.0 0.0 0.0 0.0 4.0 1 frame.png\n1.0 2.0 -1\n";
+constexpr char kPointsTxt[] = "1 0.0 0.5 2.0 200 100 50 0.5 10 0\n";
+
+LoadedScene parse_text_model(const std::string& cameras, const std::string& images,
+                             const std::string& points) {
+  TempDir dir;
+  dir.write_file("cameras.txt", cameras);
+  dir.write_file("images.txt", images);
+  dir.write_file("points3D.txt", points);
+  return read_colmap_scene(dir.path().string());
+}
+
+void expect_text_error(const std::string& cameras, const std::string& images,
+                       const std::string& points, const std::string& message_fragment) {
+  try {
+    (void)parse_text_model(cameras, images, points);
+    FAIL() << "expected DatasetError containing '" << message_fragment << "'";
+  } catch (const DatasetError& e) {
+    EXPECT_NE(std::string(e.what()).find(message_fragment), std::string::npos) << e.what();
+  }
+}
+
+TEST(ColmapErrors, ValidTextModelStillParses) {
+  const LoadedScene scene = parse_text_model(kCamerasTxt, kImagesTxt, kPointsTxt);
+  EXPECT_EQ(scene.cloud.size(), 1u);
+  EXPECT_EQ(scene.cameras.size(), 1u);
+  EXPECT_EQ(scene.source, "colmap-text");
+}
+
+TEST(ColmapErrors, GarbledTextCountsAreErrorsNotTruncations) {
+  expect_text_error("1 PINHOLE abc 480 500.0 505.0 320.0 240.0\n", kImagesTxt, kPointsTxt,
+                    "garbled count 'abc'");
+  // Partial parses must not silently truncate to the leading digits.
+  expect_text_error("1 PINHOLE 640x12 480 500.0 505.0 320.0 240.0\n", kImagesTxt, kPointsTxt,
+                    "garbled count '640x12'");
+  expect_text_error("-1 PINHOLE 640 480 500.0 505.0 320.0 240.0\n", kImagesTxt, kPointsTxt,
+                    "garbled count '-1'");
+}
+
+TEST(ColmapErrors, UnsupportedTextModelName) {
+  expect_text_error("1 FISHEYE 640 480 500.0 320.0 240.0\n", kImagesTxt, kPointsTxt,
+                    "unsupported camera model 'FISHEYE'");
+}
+
+TEST(ColmapErrors, TextImageLineShapeEnforced) {
+  expect_text_error(kCamerasTxt, "10 1.0 0.0 0.0 0.0 0.0 0.0 4.0 1\n\n", kPointsTxt,
+                    "expected IMAGE_ID");
+  expect_text_error(kCamerasTxt, "10 1.0 0.0 0.0 0.0 0.0 0.0 4.0 1 frame.png\n", kPointsTxt,
+                    "missing points2D line");
+  expect_text_error(kCamerasTxt,
+                    "10 1.0 0.0 0.0 0.0 0.0 0.0 4.0 1 frame.png\n1.0 2.0\n", kPointsTxt,
+                    "not a multiple of 3");
+  expect_text_error(kCamerasTxt,
+                    "10 1.0 x 0.0 0.0 0.0 0.0 4.0 1 frame.png\n\n", kPointsTxt,
+                    "garbled number 'x'");
+}
+
+TEST(ColmapErrors, TextPointLineShapeEnforced) {
+  expect_text_error(kCamerasTxt, kImagesTxt, "1 0.0 0.5\n", "expected POINT3D_ID");
+  expect_text_error(kCamerasTxt, kImagesTxt, "1 0.0 0.5 2.0 200 100 50 0.5 10\n",
+                    "expected POINT3D_ID");
+  expect_text_error(kCamerasTxt, kImagesTxt, "1 0.0 nope 2.0 200 100 50 0.5\n",
+                    "garbled number 'nope'");
+  expect_text_error(kCamerasTxt, kImagesTxt, "1 0.0 0.5 2.0 300 100 50 0.5\n", "> 255");
+}
+
+TEST(ColmapErrors, EmptyTextModelIsAValidEmptyScene) {
+  // Comment-only files are a well-formed zero-entity model, not an error
+  // (matching the zero-vertex PLY case).
+  const LoadedScene scene = parse_text_model("# empty\n", "# empty\n", "# empty\n");
+  EXPECT_EQ(scene.cloud.size(), 0u);
+  EXPECT_EQ(scene.cameras.size(), 0u);
+}
+
+TEST(ColmapErrors, DatasetErrorIsARuntimeError) {
+  // Existing catch (std::runtime_error) sites must keep working.
+  EXPECT_THROW((void)read_colmap_scene("/nonexistent/model"), std::runtime_error);
+}
+
+TEST(ColmapErrors, LoadSceneSniffingErrors) {
+  EXPECT_THROW((void)load_scene("/nonexistent/path"), DatasetError);
+  TempDir empty;
+  try {
+    (void)load_scene(empty.path().string());
+    FAIL() << "expected DatasetError";
+  } catch (const DatasetError& e) {
+    EXPECT_NE(std::string(e.what()).find("no transforms.json and no COLMAP model"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(is_dataset_path(empty.path().string()));
+  EXPECT_FALSE(is_dataset_path("/nonexistent/path"));
+}
+
+}  // namespace
+}  // namespace gstg

@@ -1,0 +1,158 @@
+// Malformed-transforms.json corpus: broken JSON, missing or mistyped keys,
+// non-finite values, malformed transform matrices and absurd sizes must all
+// raise typed DatasetErrors — never a silently empty or wrong scene.
+#include "dataset/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace gstg {
+namespace {
+
+/// A valid document to corrupt.
+std::string valid_json() {
+  return R"({
+  "camera_angle_x": 0.6911112070083618,
+  "w": 400,
+  "h": 300,
+  "frames": [
+    {
+      "file_path": "./train/r_0",
+      "transform_matrix": [
+        [1.0, 0.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0, 0.0],
+        [0.0, 0.0, 1.0, 4.0],
+        [0.0, 0.0, 0.0, 1.0]
+      ]
+    }
+  ]
+})";
+}
+
+LoadedScene parse(const std::string& text, const TransformsOptions& options = {}) {
+  std::istringstream in(text);
+  return read_transforms_scene(in, options);
+}
+
+std::string replace_once(std::string text, const std::string& from, const std::string& to) {
+  const auto pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << "corpus construction: '" << from << "' not found";
+  return text.replace(pos, from.size(), to);
+}
+
+void expect_transforms_error(const std::string& text, const std::string& message_fragment) {
+  try {
+    (void)parse(text);
+    FAIL() << "expected DatasetError containing '" << message_fragment << "'";
+  } catch (const DatasetError& e) {
+    EXPECT_NE(std::string(e.what()).find(message_fragment), std::string::npos) << e.what();
+  }
+}
+
+TEST(TransformsErrors, ValidDocumentStillParses) {
+  const LoadedScene scene = parse(valid_json());
+  EXPECT_EQ(scene.cameras.size(), 1u);
+  EXPECT_EQ(scene.source, "transforms");
+  EXPECT_GT(scene.cloud.size(), 0u);
+}
+
+TEST(TransformsErrors, BrokenJsonRejected) {
+  expect_transforms_error("", "empty file");
+  expect_transforms_error("{", "unexpected end of input");
+  expect_transforms_error("{\"a\": }", "unexpected character");
+  expect_transforms_error("{\"a\": 1} trailing", "trailing content");
+  expect_transforms_error("{\"a\": \"unterminated}", "unterminated string");
+  expect_transforms_error("{\"a\": trueish}", "expected '}'");
+  expect_transforms_error("[1, 2, 3]", "root is not an object");
+  expect_transforms_error("{\"a\": 1, \"a\": 2}", "duplicate object key");
+  expect_transforms_error("{\"a\": \"bad \\x escape\"}", "unknown escape");
+  expect_transforms_error("{\"a\": \"bad \\uZZZZ\"}", "garbled \\u escape");
+}
+
+TEST(TransformsErrors, DeepNestingBounded) {
+  // Adversarial nesting must hit the typed depth bound, not the stack.
+  std::string bomb = "{\"frames\": ";
+  for (int i = 0; i < 200; ++i) bomb += "[";
+  for (int i = 0; i < 200; ++i) bomb += "]";
+  bomb += "}";
+  expect_transforms_error(bomb, "nesting deeper than");
+}
+
+TEST(TransformsErrors, MissingOrMistypedKeys) {
+  expect_transforms_error(replace_once(valid_json(), "camera_angle_x", "camera_angle_y"),
+                          "missing key 'camera_angle_x'");
+  expect_transforms_error(
+      replace_once(valid_json(), "0.6911112070083618", "\"wide\""),
+      "'camera_angle_x' is not a number");
+  expect_transforms_error(replace_once(valid_json(), "\"frames\"", "\"nofames\""),
+                          "missing frames array");
+  expect_transforms_error(replace_once(valid_json(), "\"transform_matrix\"", "\"matrix\""),
+                          "missing transform_matrix");
+}
+
+TEST(TransformsErrors, AbsurdValuesRejected) {
+  expect_transforms_error(replace_once(valid_json(), "0.6911112070083618", "0.0"),
+                          "outside (0, pi)");
+  expect_transforms_error(replace_once(valid_json(), "0.6911112070083618", "4.0"),
+                          "outside (0, pi)");
+  expect_transforms_error(replace_once(valid_json(), "\"w\": 400", "\"w\": 0"),
+                          "image size out of range");
+  expect_transforms_error(replace_once(valid_json(), "\"w\": 400", "\"w\": 1e30"),
+                          "image size out of range");
+}
+
+TEST(TransformsErrors, EmptyFramesRejected) {
+  // A transforms file with no frames is a scene with no cameras — an error,
+  // not a silently empty success.
+  std::string text = valid_json();
+  const auto open = text.find("\"frames\": [");
+  const auto close = text.rfind(']');
+  text = text.substr(0, open) + "\"frames\": []" + text.substr(close + 1);
+  expect_transforms_error(text, "frames array is empty");
+}
+
+TEST(TransformsErrors, MalformedTransformMatrixRejected) {
+  expect_transforms_error(replace_once(valid_json(), "[0.0, 0.0, 0.0, 1.0]", "[0.0, 0.0, 0.0]"),
+                          "not 4 wide");
+  expect_transforms_error(
+      replace_once(valid_json(), "[0.0, 0.0, 0.0, 1.0]\n      ]", "[0.0, 0.0, 0.0, 1.0],\n"
+                                 "        [0.0, 0.0, 0.0, 1.0]\n      ]"),
+      "rows (want 4)");
+  expect_transforms_error(replace_once(valid_json(), "[0.0, 0.0, 0.0, 1.0]", "[0.0, 0.0, 0.5, 1.0]"),
+                          "last row is not (0, 0, 0, 1)");
+  // A sheared rotation block would make rigid_inverse silently wrong.
+  expect_transforms_error(replace_once(valid_json(), "[1.0, 0.0, 0.0, 0.0],", "[1.0, 0.9, 0.0, 0.0],"),
+                          "not orthonormal");
+}
+
+TEST(TransformsErrors, NonFiniteMatrixEntryRejected) {
+  // JSON has no Infinity literal, but a huge exponent overflows strtod to
+  // inf — that must still be caught by the finiteness check.
+  expect_transforms_error(replace_once(valid_json(), "[0.0, 0.0, 1.0, 4.0]", "[0.0, 0.0, 1.0, 1e999]"),
+                          "not a finite number");
+}
+
+TEST(TransformsErrors, FilePathMustBeAString) {
+  expect_transforms_error(replace_once(valid_json(), "\"./train/r_0\"", "12"),
+                          "file_path is not a string");
+}
+
+TEST(TransformsErrors, ExplicitIntrinsicsPath) {
+  // fl_x takes priority over camera_angle_x and must be validated too.
+  const LoadedScene scene =
+      parse(replace_once(valid_json(), "\"camera_angle_x\"", "\"fl_x\": 222.5, \"camera_angle_x\""));
+  EXPECT_FLOAT_EQ(scene.cameras.at(0).fx(), 222.5f);
+  expect_transforms_error(
+      replace_once(valid_json(), "\"camera_angle_x\"", "\"fl_x\": -1.0, \"camera_angle_x\""),
+      "non-positive focal length");
+}
+
+TEST(TransformsErrors, DatasetErrorIsARuntimeError) {
+  EXPECT_THROW((void)parse("{"), std::runtime_error);
+  EXPECT_THROW((void)read_transforms_scene_file("/nonexistent/transforms.json"), DatasetError);
+}
+
+}  // namespace
+}  // namespace gstg

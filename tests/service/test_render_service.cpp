@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <future>
@@ -303,6 +304,44 @@ TEST(RenderService, BrokenSceneIsATypedPerClientError) {
   RenderResponse good = service.submit(RenderRequest{"train", make_camera(64, 48), 0}).get();
   EXPECT_TRUE(good.ok()) << good.error;
   std::remove(path.c_str());
+}
+
+TEST(RenderService, GarbledDatasetDirIsATypedPerClientError) {
+  // A scene key naming a directory routes through the dataset loader
+  // (dataset/load_scene.h). A garbled or unrecognisable directory must come
+  // back as a typed kSceneLoadFailed carrying the DatasetError message —
+  // never fall through to the synthetic-scene registry or kill the worker.
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "gstg_garbled_dataset";
+  std::filesystem::create_directories(dir);
+  {
+    // cameras.bin with a count promising more cameras than the payload has.
+    std::ofstream out(dir / "cameras.bin", std::ios::binary);
+    const std::uint64_t count = 5;
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  }
+  ServiceConfig config = small_service_config();
+  RenderService service(config);  // default loader: datasets + PLY + recipes
+
+  RenderResponse garbled = service.submit(RenderRequest{dir.string(), make_camera(64, 48), 0}).get();
+  EXPECT_EQ(garbled.status, ServiceStatus::kSceneLoadFailed);
+  EXPECT_NE(garbled.error.find("dataset"), std::string::npos) << garbled.error;
+  EXPECT_NE(garbled.error.find("cameras.bin"), std::string::npos) << garbled.error;
+
+  // An existing directory with no recognisable model at all is also a typed
+  // dataset error, not an "unknown scene" fall-through.
+  const std::filesystem::path empty_dir =
+      std::filesystem::path(::testing::TempDir()) / "gstg_empty_dataset";
+  std::filesystem::create_directories(empty_dir);
+  RenderResponse empty =
+      service.submit(RenderRequest{empty_dir.string(), make_camera(64, 48), 0}).get();
+  EXPECT_EQ(empty.status, ServiceStatus::kSceneLoadFailed);
+  EXPECT_NE(empty.error.find("dataset"), std::string::npos) << empty.error;
+
+  // The same service instance keeps serving good scenes.
+  EXPECT_TRUE(service.submit(RenderRequest{"train", make_camera(64, 48), 0}).get().ok());
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(empty_dir);
 }
 
 TEST(RenderService, ShutdownRejectsNewRequestsAndDrainsQueued) {
