@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Documentation consistency gate, run by CI's docs job and registered as a
-# CTest test (label: docs). Two checks:
+# CTest test (label: docs). Three checks:
 #   1. Every relative markdown link in README.md, docs/*.md, bench/README.md
 #      resolves to an existing file or directory.
 #   2. docs/CONFIG.md mentions every field of GsTgConfig (and RenderConfig),
 #      so the config reference cannot silently rot.
+#   3. Every GSTG_* environment variable parsed in common/runconfig.cpp has
+#      a row in docs/CONFIG.md, so new env knobs cannot ship undocumented.
 set -u
 
 cd "$(dirname "$0")/.." || exit 1
@@ -59,6 +61,22 @@ check_fields() {
 check_fields src/core/gstg_config.h GsTgConfig
 check_fields src/render/types.h RenderConfig
 check_fields src/service/render_service.h ServiceConfig
+
+# --- 3. CONFIG.md covers every GSTG_* env var parsed by runconfig --------
+# runconfig.cpp is where environment parsing lives; string literals like
+# "GSTG_PIPELINE" are the knobs. (Callers pass further names to the generic
+# env_positive_size helper, so scan every source file for literals.)
+env_vars=$(grep -rhoE '"GSTG_[A-Z0-9_]+"' src/ | tr -d '"' | sort -u)
+if [ -z "$env_vars" ]; then
+  echo "NO GSTG_* ENV VARS FOUND in src/ (check_docs.sh pattern broke?)"
+  fail=1
+fi
+for var in $env_vars; do
+  if ! grep -q "$var" docs/CONFIG.md; then
+    echo "UNDOCUMENTED ENV VAR: $var missing from docs/CONFIG.md"
+    fail=1
+  fi
+done
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"

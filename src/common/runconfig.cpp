@@ -114,6 +114,36 @@ const char* to_string(ResidencyMode mode) {
   return "?";
 }
 
+PipelineMode pipeline_mode_from_env(PipelineMode fallback) {
+  const char* env = std::getenv("GSTG_PIPELINE");
+  if (env == nullptr) return fallback;
+  const std::string value = env;
+  if (value == "exact") return PipelineMode::kExact;
+  if (value == "sortless") return PipelineMode::kSortless;
+  if (value == "verify") return PipelineMode::kVerify;
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "gstg: unknown GSTG_PIPELINE value '%s' (expected "
+                 "exact/sortless/verify), keeping the configured mode\n",
+                 env);
+  }
+  return fallback;
+}
+
+const char* to_string(PipelineMode mode) {
+  switch (mode) {
+    case PipelineMode::kExact:
+      return "exact";
+    case PipelineMode::kSortless:
+      return "sortless";
+    case PipelineMode::kVerify:
+      return "verify";
+  }
+  return "?";
+}
+
 std::size_t env_positive_size(const char* name, std::size_t fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr) return fallback;

@@ -107,4 +107,29 @@ ResidencyMode residency_mode_from_env(ResidencyMode fallback);
 
 [[nodiscard]] const char* to_string(ResidencyMode mode);
 
+/// Blending discipline of the rasterization stage. Lives here, next to the
+/// other run modes, so both the render and core configs can carry the knob.
+/// Unlike every other mode pair in this file, kSortless is intentionally
+/// LOSSY: it trades the per-group depth sort (the paper's whole subject)
+/// for order-independent transmittance blending, gated on a PSNR/SSIM
+/// floor instead of bit-identity.
+///   kExact    — depth-sorted front-to-back alpha blending; bit-identical
+///               output (the standing lossless gate applies)
+///   kSortless — skip group sorting entirely and blend the unsorted lists
+///               with order-independent transmittance (Wang et al., arXiv
+///               2506.07069); deterministic bit-for-bit across thread
+///               counts, SIMD backends and list orders, but approximate
+///               with respect to exact output
+///   kVerify   — render both paths for every frame, ship the sortless
+///               image, and report PSNR/SSIM against the exact reference
+///               (the quality-audit mode; see src/render/quality.h)
+enum class PipelineMode : std::uint8_t { kExact, kSortless, kVerify };
+
+/// Reads GSTG_PIPELINE from the environment ("exact" / "sortless" /
+/// "verify"). Unset returns `fallback`; an unknown value is ignored with a
+/// one-time warning, mirroring GSTG_TEMPORAL / GSTG_BINNING.
+PipelineMode pipeline_mode_from_env(PipelineMode fallback);
+
+[[nodiscard]] const char* to_string(PipelineMode mode);
+
 }  // namespace gstg

@@ -1,0 +1,47 @@
+#include "render/quality.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "render/metrics.h"
+
+namespace gstg {
+
+ImageQuality image_quality(const Framebuffer& exact, const Framebuffer& approx) {
+  if (exact.width() != approx.width() || exact.height() != approx.height()) {
+    throw std::invalid_argument("image_quality: size mismatch");
+  }
+  ImageQuality q;
+  q.psnr = psnr(exact, approx);
+  if (exact.width() >= 8 && exact.height() >= 8) {
+    q.ssim = ssim(exact, approx);
+  } else {
+    q.ssim = max_abs_diff(exact, approx) == 0.0f ? 1.0 : 0.0;
+  }
+  q.measured = true;
+  return q;
+}
+
+QualityFloor quality_floor(const std::string& scene) {
+  // Committed per-scene floors, set from the sortless-vs-exact measurements
+  // in bench/baseline/BENCH_quality.json — the minimum over the bench and
+  // small scales, minus ~2 dB / 0.03 SSIM of slack so benign drift cannot
+  // trip the gate while a real blending regression still does. Measured
+  // (bench / small scale): train 28.50/25.01 dB, 0.917/0.901; truck
+  // 24.89/26.50 dB, 0.889/0.907; drjohnson 22.51/23.31 dB, 0.809/0.788;
+  // playroom 21.88/23.05 dB, 0.807/0.815. Refresh procedure:
+  // bench/README.md.
+  if (scene == "train") return QualityFloor{23.0, 0.87};
+  if (scene == "truck") return QualityFloor{22.5, 0.85};
+  if (scene == "drjohnson") return QualityFloor{20.5, 0.75};
+  if (scene == "playroom") return QualityFloor{20.0, 0.77};
+  // Unknown scenes: the weakest committed floor.
+  return QualityFloor{18.0, 0.60};
+}
+
+bool meets_floor(const ImageQuality& q, const QualityFloor& floor) {
+  // NaN-safe: any non-comparing value fails the floor.
+  return q.measured && q.psnr >= floor.min_psnr && q.ssim >= floor.min_ssim;
+}
+
+}  // namespace gstg

@@ -1,0 +1,43 @@
+// Image-quality measurement for the lossy pipeline modes. Every mode before
+// kSortless was gated on bit-identity; the sortless tier is gated on a
+// quantitative floor instead: PSNR + SSIM of the approximate image against
+// the exact reference, with per-scene floors committed here so the renderer
+// (PipelineMode::kVerify), bench_quality and the CI gate all agree on one
+// number.
+#pragma once
+
+#include <string>
+
+#include "render/framebuffer.h"
+
+namespace gstg {
+
+/// PSNR/SSIM of an approximate image against its exact reference.
+struct ImageQuality {
+  double psnr = 0.0;    ///< dB against peak 1.0; +inf when bit-identical
+  double ssim = 1.0;    ///< mean windowed SSIM in [-1, 1]
+  bool measured = false;  ///< false until a kVerify frame fills this in
+};
+
+/// Measures `approx` against `exact` (same dimensions, or throws
+/// std::invalid_argument). Images smaller than one SSIM window (8x8) fall
+/// back to ssim = 1.0 when bit-identical and 0.0 otherwise — conservative
+/// in the direction that never inflates a floor check.
+ImageQuality image_quality(const Framebuffer& exact, const Framebuffer& approx);
+
+/// The committed quality floor of one bench scene.
+struct QualityFloor {
+  double min_psnr = 0.0;
+  double min_ssim = 0.0;
+};
+
+/// Floor for a bench scene by name; unknown scenes get the default floor
+/// (the weakest committed one). These values gate bench_quality, the
+/// tests/render/test_sortless.cpp suite and — through the committed
+/// BENCH_quality.json baseline — CI; raise them only with a refreshed
+/// baseline (see bench/README.md).
+QualityFloor quality_floor(const std::string& scene);
+
+[[nodiscard]] bool meets_floor(const ImageQuality& q, const QualityFloor& floor);
+
+}  // namespace gstg

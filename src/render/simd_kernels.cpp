@@ -18,12 +18,16 @@ namespace gstg {
 // Kernel entry points, one namespace per backend TU (simd_kernels.inl).
 // The GSTG_SIMD_HAVE_* macros are defined by src/render/CMakeLists.txt for
 // the backends actually compiled on this platform.
-#define GSTG_DECLARE_KERNELS(ns)                                                            \
-  namespace ns {                                                                            \
-  TileRasterStats rasterize_tile_kernel(std::span<const ProjectedSplat>,                    \
-                                        std::span<const std::uint32_t>, int, int, int, int, \
-                                        Framebuffer&, TileRasterScratch&, ExpMode);         \
-  void preprocess_chunk_kernel(const PreprocessChunkArgs&, std::size_t, std::size_t);       \
+#define GSTG_DECLARE_KERNELS(ns)                                                             \
+  namespace ns {                                                                             \
+  TileRasterStats rasterize_tile_kernel(std::span<const ProjectedSplat>,                     \
+                                        std::span<const std::uint32_t>, int, int, int, int,  \
+                                        Framebuffer&, TileRasterScratch&, ExpMode);          \
+  TileRasterStats rasterize_tile_sortless_kernel(std::span<const ProjectedSplat>,            \
+                                                 std::span<const std::uint32_t>, int, int,   \
+                                                 int, int, Framebuffer&,                     \
+                                                 SortlessRasterScratch&, ExpMode);           \
+  void preprocess_chunk_kernel(const PreprocessChunkArgs&, std::size_t, std::size_t);        \
   }
 
 GSTG_DECLARE_KERNELS(simd_scalar)
@@ -114,6 +118,26 @@ bool probe_matches_scalar(const SimdKernels& k) {
   }
   if (std::memcmp(fa.pixels().data(), fb.pixels().data(),
                   fa.pixels().size() * sizeof(Vec3)) != 0) {
+    return false;
+  }
+
+  // Sortless probe: the same tile through the order-independent kernel,
+  // forward under the scalar reference and REVERSED under the candidate —
+  // one comparison covers both the cross-backend bit-identity and the
+  // order-independence contract of the sortless pipeline.
+  std::vector<std::uint32_t> reversed(order.rbegin(), order.rend());
+  Framebuffer fsa(16, 16), fsb(16, 16);
+  SortlessRasterScratch ssa, ssb;
+  const TileRasterStats sra =
+      ref.rasterize_tile_sortless(splats, order, 0, 0, 16, 16, fsa, ssa, ExpMode::kExact);
+  const TileRasterStats srb =
+      k.rasterize_tile_sortless(splats, reversed, 0, 0, 16, 16, fsb, ssb, ExpMode::kExact);
+  if (sra.alpha_computations != srb.alpha_computations || sra.blend_ops != srb.blend_ops ||
+      srb.early_exit_pixels != 0) {
+    return false;
+  }
+  if (std::memcmp(fsa.pixels().data(), fsb.pixels().data(),
+                  fsa.pixels().size() * sizeof(Vec3)) != 0) {
     return false;
   }
 
@@ -214,6 +238,7 @@ const SimdKernels& simd_kernels(SimdBackend backend) {
     case SimdBackend::kScalar: {
       static const SimdKernels k{SimdBackend::kScalar, 1,
                                  &simd_scalar::rasterize_tile_kernel,
+                                 &simd_scalar::rasterize_tile_sortless_kernel,
                                  &simd_scalar::preprocess_chunk_kernel};
       return k;
     }
@@ -221,6 +246,7 @@ const SimdKernels& simd_kernels(SimdBackend backend) {
 #if defined(GSTG_SIMD_HAVE_SSE4)
     {
       static const SimdKernels k{SimdBackend::kSse4, 4, &simd_sse4::rasterize_tile_kernel,
+                                 &simd_sse4::rasterize_tile_sortless_kernel,
                                  &simd_sse4::preprocess_chunk_kernel};
       return k;
     }
@@ -231,6 +257,7 @@ const SimdKernels& simd_kernels(SimdBackend backend) {
 #if defined(GSTG_SIMD_HAVE_AVX2)
     {
       static const SimdKernels k{SimdBackend::kAvx2, 8, &simd_avx2::rasterize_tile_kernel,
+                                 &simd_avx2::rasterize_tile_sortless_kernel,
                                  &simd_avx2::preprocess_chunk_kernel};
       return k;
     }
@@ -241,6 +268,7 @@ const SimdKernels& simd_kernels(SimdBackend backend) {
 #if defined(GSTG_SIMD_HAVE_NEON)
     {
       static const SimdKernels k{SimdBackend::kNeon, 4, &simd_neon::rasterize_tile_kernel,
+                                 &simd_neon::rasterize_tile_sortless_kernel,
                                  &simd_neon::preprocess_chunk_kernel};
       return k;
     }

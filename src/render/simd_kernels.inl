@@ -241,6 +241,170 @@ TileRasterStats rasterize_tile_kernel(std::span<const ProjectedSplat> splats,
   return stats;
 }
 
+TileRasterStats rasterize_tile_sortless_kernel(std::span<const ProjectedSplat> splats,
+                                               std::span<const std::uint32_t> order, int x0,
+                                               int y0, int x1, int y1, Framebuffer& fb,
+                                               SortlessRasterScratch& sc, ExpMode exp_mode) {
+  const int bw = x1 - x0;
+  const int bh = y1 - y0;
+  const std::size_t npx = static_cast<std::size_t>(bw) * bh;
+
+  TileRasterStats stats;
+  stats.pixels = npx;
+  stats.pixel_list_work = order.size() * npx;
+  // No transmittance early exit: dropping later splats once T is small would
+  // make the result depend on the (nondeterministic) list order.
+
+  // Fixed-point scales of the order-independent accumulators. Quantizing
+  // each (pixel, splat) contribution once and summing in int64 makes the
+  // total independent of accumulation order: integer addition is exactly
+  // associative and commutative, float addition is not. Headroom: |terms|
+  // <= ~2^33 each, so even million-entry lists stay far below 2^63.
+  constexpr double kWeightScale = 1073741824.0;              // 2^30
+  constexpr double kLogScale = 4294967296.0;                 // 2^32
+  constexpr double kInvLogScale = 1.0 / 4294967296.0;
+
+  if (sc.acc_w.size() < npx) {
+    sc.acc_w.resize(npx);
+    sc.acc_r.resize(npx);
+    sc.acc_g.resize(npx);
+    sc.acc_b.resize(npx);
+    sc.acc_t.resize(npx);
+  }
+  for (std::size_t i = 0; i < npx; ++i) {
+    sc.acc_w[i] = 0;
+    sc.acc_r[i] = 0;
+    sc.acc_g[i] = 0;
+    sc.acc_b[i] = 0;
+    sc.acc_t[i] = 0;
+  }
+
+  // One lane-padded row of pixel-centre x coordinates (axis-shared
+  // evaluation walks the tile row by row). Padding clones the last column.
+  const std::size_t row_cap = (static_cast<std::size_t>(bw) + kW - 1) / kW * kW;
+  if (sc.px.size() < row_cap) sc.px.resize(row_cap);
+  for (std::size_t i = 0; i < row_cap; ++i) {
+    const int col = i < static_cast<std::size_t>(bw) ? static_cast<int>(i) : bw - 1;
+    sc.px[i] = static_cast<float>(x0 + col) + 0.5f;
+  }
+
+  // Per-tile depth range over the whole list: min/max are commutative, so
+  // the range (and the weights derived from it) is order-independent.
+  float dmin = 0.0f;
+  float dmax = 0.0f;
+  bool have_depth = false;
+  for (const std::uint32_t id : order) {
+    const float d = splats[id].depth;
+    if (!have_depth) {
+      dmin = d;
+      dmax = d;
+      have_depth = true;
+    } else {
+      if (d < dmin) dmin = d;
+      if (d > dmax) dmax = d;
+    }
+  }
+  const float inv_range = dmax > dmin ? 1.0f / (dmax - dmin) : 0.0f;
+
+  const F zero = F::broadcast(0.0f);
+  const M all_valid = valid_mask(kW);
+
+  std::size_t pass_count = 0;
+  std::size_t blend_count = 0;
+
+  for (const std::uint32_t id : order) {
+    const ProjectedSplat& s = splats[id];
+    const float q_max_s = 2.0f * std::log(255.0f * s.opacity);
+    const float c2xy = 2.0f * s.conic.xy;
+    // Scalar per-splat depth weight (shared by every pixel of the tile).
+    const float fdepth = std::exp2(-kSortlessDepthBeta * ((s.depth - dmin) * inv_range));
+
+    const F cx = F::broadcast(s.center.x);
+    const F xx = F::broadcast(s.conic.xx);
+    const F q_max = F::broadcast(q_max_s);
+
+    for (int row = 0; row < bh; ++row) {
+      // Axis-shared evaluation: everything dy-dependent is hoisted out of
+      // the pixel loop — per pixel only the dx terms remain.
+      const float dy = (static_cast<float>(y0 + row) + 0.5f) - s.center.y;
+      const F ay = F::broadcast((s.conic.yy * dy) * dy);
+      const F by = F::broadcast(c2xy * dy);
+
+      for (std::size_t k = 0; k < static_cast<std::size_t>(bw); k += kW) {
+        const M valid = k + kW <= static_cast<std::size_t>(bw)
+                            ? all_valid
+                            : valid_mask(static_cast<std::size_t>(bw) - k);
+        const F dx = F::load(&sc.px[k]) - cx;
+        // conic.quad with the row terms hoisted:
+        // ((xx*dx)*dx + (2*xy*dy)*dx) + yy*dy*dy.
+        const F q = ((xx * dx) * dx + by * dx) + ay;
+
+        const M pass = (!(cmp_gt(q, q_max) | cmp_lt(q, zero))) & valid;
+        if (!pass.any()) continue;
+
+        F alpha;
+        if (exp_mode == ExpMode::kExact) {
+          for (int i = 0; i < kW; ++i) {
+            if (pass.lane(i)) {
+              const float e = std::exp(-0.5f * q.v[i]);
+              const float a0 = s.opacity * e;
+              alpha.v[i] = (a0 < kAlphaClamp) ? a0 : kAlphaClamp;  // std::min order
+            } else {
+              alpha.v[i] = 0.0f;
+            }
+          }
+        } else {
+          const F e = fast_exp<kW>(F::broadcast(-0.5f) * q);
+          const F a0 = F::broadcast(s.opacity) * e;
+          alpha = select(pass, min_std(F::broadcast(kAlphaClamp), a0), zero);
+        }
+
+        // Quantize and accumulate per lane. Scalar on purpose: llround /
+        // log2 run through libm identically on every backend, and the int64
+        // adds are what make the sum order-independent.
+        for (int i = 0; i < kW; ++i) {
+          if (!pass.lane(i)) continue;
+          ++pass_count;
+          const float a = alpha.v[i];
+          if (a < kAlphaThreshold) continue;
+          ++blend_count;
+          const std::size_t p =
+              static_cast<std::size_t>(row) * bw + k + static_cast<std::size_t>(i);
+          const float w = a * fdepth;
+          sc.acc_w[p] += std::llround(static_cast<double>(w) * kWeightScale);
+          sc.acc_r[p] += std::llround(static_cast<double>(w * s.rgb.x) * kWeightScale);
+          sc.acc_g[p] += std::llround(static_cast<double>(w * s.rgb.y) * kWeightScale);
+          sc.acc_b[p] += std::llround(static_cast<double>(w * s.rgb.z) * kWeightScale);
+          sc.acc_t[p] += std::llround(std::log2(1.0 - static_cast<double>(a)) * kLogScale);
+        }
+      }
+    }
+  }
+
+  stats.alpha_computations = pass_count;
+  stats.blend_ops = blend_count;
+
+  // Resolve: colour = coverage * weighted average, coverage = 1 - Π(1-a)
+  // recovered from the summed log2 terms. A deterministic function of the
+  // integer sums, so the flushed image inherits their order independence.
+  for (std::size_t p = 0; p < npx; ++p) {
+    const int x = x0 + static_cast<int>(p) % bw;
+    const int y = y0 + static_cast<int>(p) / bw;
+    if (sc.acc_w[p] <= 0) {
+      fb.at(x, y) = Vec3{0.0f, 0.0f, 0.0f};
+      continue;
+    }
+    const double transmittance = std::exp2(static_cast<double>(sc.acc_t[p]) * kInvLogScale);
+    const double coverage = 1.0 - transmittance;
+    const double inv_w = 1.0 / static_cast<double>(sc.acc_w[p]);
+    fb.at(x, y) = Vec3{
+        static_cast<float>(coverage * (static_cast<double>(sc.acc_r[p]) * inv_w)),
+        static_cast<float>(coverage * (static_cast<double>(sc.acc_g[p]) * inv_w)),
+        static_cast<float>(coverage * (static_cast<double>(sc.acc_b[p]) * inv_w))};
+  }
+  return stats;
+}
+
 void preprocess_chunk_kernel(const PreprocessChunkArgs& args, std::size_t lo, std::size_t hi) {
   const GaussianCloud& cloud = *args.cloud;
   const Camera& camera = *args.camera;

@@ -32,6 +32,7 @@ void prepare_scratch(TemporalScratch& scratch, std::size_t workers, std::size_t 
 TemporalRenderer::TemporalRenderer(const GsTgConfig& config) : config_(config) {
   config_.temporal = temporal_mode_from_env(config.temporal);
   config_.binning = binning_mode_from_env(config.binning);
+  config_.pipeline = pipeline_mode_from_env(config.pipeline);
   config_.validate();
 }
 
@@ -45,6 +46,7 @@ void TemporalRenderer::render(const GaussianCloud& cloud, const Camera& camera,
                               FrameContext& ctx) {
   ctx.times = {};
   ctx.counters = {};
+  ctx.quality = {};
   Timer timer;
 
   // The non-sort stages are exactly the persistent renderer's: same
@@ -62,6 +64,17 @@ void TemporalRenderer::render(const GaussianCloud& cloud, const Camera& camera,
   generate_bitmasks_into(ctx.splats, ctx.frame.group_bins, ctx.frame.tile_grid, config_,
                          ctx.counters, ctx.frame.masks);
   ctx.times.bitmask_ms = timer.lap_ms();
+
+  if (config_.pipeline != PipelineMode::kExact) {
+    // Sortless bypasses the group-sort cache cleanly: nothing sorts, so
+    // there is no order to snapshot, reuse, or audit — the cache is never
+    // touched and every TemporalStats field stays zero (frames excepted).
+    last_ = {};
+    last_.frames = 1;
+    total_.merge(last_);
+    finish_sortless_stages(config_, camera, ctx, timer);
+    return;
+  }
 
   // Group ordering: reuse the cached cross-frame order where provably
   // valid, sort the rest; then snapshot the (now sorted) lists for the next

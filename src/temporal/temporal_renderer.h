@@ -73,11 +73,17 @@ struct TemporalScratch {
 /// frame sequence), so use one TemporalRenderer per camera stream; frames
 /// must be rendered in sequence order for reuse to mean anything.
 ///
-/// Every mode is pixel-exact: output images and all RenderCounters except
-/// sort_comparison_volume match render_gstg on the same frame exactly
-/// (reused groups perform no sort, so kReuse reports less sorting work —
-/// that reduction is the point; kVerify re-sorts everything and therefore
-/// matches render_gstg's counters bit-for-bit).
+/// Every temporal mode is pixel-exact: output images and all RenderCounters
+/// except sort_comparison_volume match render_gstg on the same frame
+/// exactly (reused groups perform no sort, so kReuse reports less sorting
+/// work — that reduction is the point; kVerify re-sorts everything and
+/// therefore matches render_gstg's counters bit-for-bit).
+///
+/// Under a non-exact GsTgConfig::pipeline (kSortless / kVerify) nothing
+/// sorts, so the cross-frame cache is bypassed cleanly: it is never
+/// snapshotted or consulted, TemporalStats stay zero, and frames match the
+/// plain Renderer's sortless output bit-for-bit. Combining a sortless
+/// pipeline with temporal kVerify is rejected by GsTgConfig::validate().
 class TemporalRenderer {
  public:
   /// Validates the configuration and resolves the temporal mode: the

@@ -1,0 +1,140 @@
+// PSNR/SSIM audit helpers (render/quality.h): perfect scores on identical
+// images, analytic PSNR on synthetic pairs, the small-image SSIM fallback,
+// and the NaN-safe committed floors.
+#include "render/quality.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "render/framebuffer.h"
+
+namespace gstg {
+namespace {
+
+Framebuffer constant_image(int w, int h, float value) {
+  Framebuffer fb(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) fb.at(x, y) = {value, value, value};
+  }
+  return fb;
+}
+
+Framebuffer gradient_image(int w, int h) {
+  Framebuffer fb(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float u = static_cast<float>(x) / static_cast<float>(w);
+      const float v = static_cast<float>(y) / static_cast<float>(h);
+      fb.at(x, y) = {u, v, 0.5f * (u + v)};
+    }
+  }
+  return fb;
+}
+
+TEST(ImageQuality, IdenticalImagesScorePerfect) {
+  const Framebuffer fb = gradient_image(32, 24);
+  const ImageQuality q = image_quality(fb, fb);
+  EXPECT_TRUE(q.measured);
+  EXPECT_TRUE(std::isinf(q.psnr));
+  EXPECT_GT(q.psnr, 0.0);
+  EXPECT_DOUBLE_EQ(q.ssim, 1.0);
+}
+
+TEST(ImageQuality, ConstantOffsetHasAnalyticPsnr) {
+  // Every channel differs by exactly 0.1, so MSE = 0.01 against peak 1.0:
+  // PSNR = 10 log10(1 / 0.01) = 20 dB.
+  const Framebuffer a = constant_image(32, 32, 0.5f);
+  const Framebuffer b = constant_image(32, 32, 0.6f);
+  const ImageQuality q = image_quality(a, b);
+  EXPECT_TRUE(q.measured);
+  EXPECT_NEAR(q.psnr, 20.0, 1e-4);
+  EXPECT_LT(q.ssim, 1.0);
+  EXPECT_GE(q.ssim, -1.0);
+}
+
+TEST(ImageQuality, SsimPenalizesStructuralDamage) {
+  const Framebuffer a = gradient_image(64, 64);
+  // Flat image at the gradient's mean destroys all structure.
+  const Framebuffer b = constant_image(64, 64, 0.5f);
+  const ImageQuality q = image_quality(a, b);
+  EXPECT_TRUE(q.measured);
+  EXPECT_TRUE(std::isfinite(q.psnr));
+  EXPECT_LT(q.ssim, 0.9);
+  EXPECT_GE(q.ssim, -1.0);
+}
+
+TEST(ImageQuality, SmallImageFallback) {
+  // Below the 8x8 SSIM window the metric falls back to exactness.
+  const Framebuffer tiny = constant_image(4, 4, 0.3f);
+  const ImageQuality same = image_quality(tiny, tiny);
+  EXPECT_TRUE(same.measured);
+  EXPECT_DOUBLE_EQ(same.ssim, 1.0);
+
+  const Framebuffer other = constant_image(4, 4, 0.4f);
+  const ImageQuality diff = image_quality(tiny, other);
+  EXPECT_TRUE(diff.measured);
+  EXPECT_DOUBLE_EQ(diff.ssim, 0.0);
+  EXPECT_TRUE(std::isfinite(diff.psnr));
+}
+
+TEST(ImageQuality, SizeMismatchThrows) {
+  const Framebuffer a = constant_image(16, 16, 0.5f);
+  const Framebuffer b = constant_image(16, 8, 0.5f);
+  EXPECT_THROW(image_quality(a, b), std::invalid_argument);
+}
+
+TEST(ImageQuality, DeterministicAcrossCalls) {
+  const Framebuffer a = gradient_image(48, 36);
+  const Framebuffer b = constant_image(48, 36, 0.25f);
+  const ImageQuality q1 = image_quality(a, b);
+  const ImageQuality q2 = image_quality(a, b);
+  EXPECT_EQ(q1.psnr, q2.psnr);
+  EXPECT_EQ(q1.ssim, q2.ssim);
+}
+
+TEST(QualityFloor, MeetsFloorIsNaNSafe) {
+  const QualityFloor floor{20.0, 0.7};
+
+  ImageQuality good;
+  good.psnr = 25.0;
+  good.ssim = 0.9;
+  good.measured = true;
+  EXPECT_TRUE(meets_floor(good, floor));
+
+  // Exactly at the floor passes (it is a floor, not a strict bound).
+  ImageQuality edge = good;
+  edge.psnr = 20.0;
+  edge.ssim = 0.7;
+  EXPECT_TRUE(meets_floor(edge, floor));
+
+  ImageQuality unmeasured = good;
+  unmeasured.measured = false;
+  EXPECT_FALSE(meets_floor(unmeasured, floor));
+
+  ImageQuality nan_psnr = good;
+  nan_psnr.psnr = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(meets_floor(nan_psnr, floor));
+
+  ImageQuality nan_ssim = good;
+  nan_ssim.ssim = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(meets_floor(nan_ssim, floor));
+
+  ImageQuality low = good;
+  low.psnr = 19.9;
+  EXPECT_FALSE(meets_floor(low, floor));
+}
+
+TEST(QualityFloor, CommittedScenesAreTighterThanUnknown) {
+  const QualityFloor unknown = quality_floor("no-such-scene");
+  for (const char* scene : {"train", "truck", "drjohnson", "playroom"}) {
+    const QualityFloor floor = quality_floor(scene);
+    EXPECT_GT(floor.min_psnr, unknown.min_psnr) << scene;
+    EXPECT_GT(floor.min_ssim, unknown.min_ssim) << scene;
+  }
+}
+
+}  // namespace
+}  // namespace gstg

@@ -280,6 +280,50 @@ TEST(RenderService, InvalidRequestsResolveWithTypedErrors) {
   EXPECT_EQ(stats.requests_completed, 1u);
 }
 
+TEST(RenderService, FastTierRendersSortlessAndPassesVerifyGate) {
+  const ServiceConfig config = small_service_config();  // verify gate on
+  RenderService service(config, fixed_cloud_loader());
+  const GaussianCloud cloud = fixed_cloud_loader()("scene");
+  const Camera camera = make_camera(112, 80);
+
+  RenderRequest request{"scene", camera, 0};
+  request.fast_tier = true;
+  RenderResponse response = service.submit(request).get();
+  ASSERT_TRUE(response.ok()) << response.error;
+
+  // Bit-identical to a one-shot render under the same sortless config, and
+  // structurally sortless: zero sort pairs in the shipped counters.
+  GsTgConfig reference = config.render;
+  reference.temporal = TemporalMode::kOff;
+  reference.pipeline = PipelineMode::kSortless;
+  const RenderResult oneshot = render_gstg(cloud, camera, reference);
+  EXPECT_EQ(max_abs_diff(oneshot.image, response.image), 0.0f);
+  EXPECT_EQ(response.counters.sort_pairs, 0u);
+
+  // Lossy by design: the fast tier differs from the exact tier's image.
+  const Framebuffer exact = sequential_reference(cloud, camera, config);
+  EXPECT_GT(max_abs_diff(exact, response.image), 0.0f);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.fast_tier_completed, 1u);
+  EXPECT_EQ(stats.verify_mismatches, 0u);
+}
+
+TEST(RenderService, FastTierWithSessionIsATypedRejection) {
+  RenderService service(small_service_config(), fixed_cloud_loader());
+
+  RenderRequest request{"scene", make_camera(64, 48), 9};
+  request.fast_tier = true;
+  RenderResponse rejected = service.submit(request).get();
+  EXPECT_EQ(rejected.status, ServiceStatus::kInvalidRequest);
+  EXPECT_NE(rejected.error.find("fast_tier"), std::string::npos);
+  EXPECT_EQ(service.stats().requests_rejected, 1u);
+
+  // The same request without the session stream is served.
+  request.session = 0;
+  EXPECT_TRUE(service.submit(request).get().ok());
+}
+
 TEST(RenderService, BrokenSceneIsATypedPerClientError) {
   // A garbled PLY on disk: the client that asked for it gets a typed
   // kSceneLoadFailed with the PLY parser's message; other clients and the
