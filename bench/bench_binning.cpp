@@ -209,6 +209,7 @@ int main(int argc, char** argv) {
     }
     json.close_array();
     json.value_bool("reduction_ok", reduction_ok);
+    json.value("peak_rss_bytes", benchutil::peak_rss_bytes());
     json.close_object();
     json.finish();
     table.print();

@@ -238,6 +238,7 @@ int main(int argc, char** argv) {
     json.value_bool("fixtures_ok", fixtures_ok);
     json.value_bool("compression_ok", compression_ok);
     json.value_bool("verify_ok", verify_ok);
+    json.value("peak_rss_bytes", benchutil::peak_rss_bytes());
     json.close_object();
     json.finish();
     table.print();

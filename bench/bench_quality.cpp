@@ -199,6 +199,7 @@ int main(int argc, char** argv) {
     json.close_array();
     json.value_bool("quality_ok", quality_ok);
     json.value_bool("verify_ok", verify_ok);
+    json.value("peak_rss_bytes", benchutil::peak_rss_bytes());
     json.close_object();
     json.finish();
     table.print();

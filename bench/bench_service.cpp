@@ -23,12 +23,14 @@
 #include "common.h"
 #include "common/cli.h"
 #include "common/runconfig.h"
+#include "common/stats.h"
 #include "common/table.h"
 #include "common/timer.h"
 #include "core/pipeline.h"
 #include "json_writer.h"
 #include "render/framebuffer.h"
 #include "service/render_service.h"
+#include "telemetry/trace.h"
 #include "temporal/camera_path.h"
 
 namespace {
@@ -45,6 +47,7 @@ struct ClientRunResult {
   double wall_ms = 0.0;
   bool identical = true;
   ServiceStats stats;
+  std::vector<double> latency_ms;  ///< per-request submit -> resolve, all clients
 };
 
 ClientRunResult run_clients(const std::string& scene_key, const std::vector<Camera>& cameras,
@@ -65,18 +68,24 @@ ClientRunResult run_clients(const std::string& scene_key, const std::vector<Came
   }
 
   Timer timer;
+  std::vector<std::vector<double>> latencies(clients);
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (std::size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       std::vector<std::future<RenderResponse>> futures;
+      std::vector<std::uint64_t> submitted_ns;
       futures.reserve(cameras.size());
+      submitted_ns.reserve(cameras.size());
       for (const Camera& camera : cameras) {
+        submitted_ns.push_back(telemetry::now_ns());
         futures.push_back(
             service.submit(RenderRequest{scene_key, camera, static_cast<std::uint64_t>(c + 1)}));
       }
       for (std::size_t f = 0; f < futures.size(); ++f) {
         RenderResponse response = futures[f].get();
+        latencies[c].push_back(
+            static_cast<double>(telemetry::now_ns() - submitted_ns[f]) / 1e6);
         if (!response.ok() || max_abs_diff(reference[f], response.image) != 0.0f) {
           client_ok[c] = 0;
         }
@@ -86,6 +95,9 @@ ClientRunResult run_clients(const std::string& scene_key, const std::vector<Came
   for (std::thread& t : threads) t.join();
   result.wall_ms = timer.lap_ms();
   for (const char ok : client_ok) result.identical = result.identical && ok != 0;
+  for (std::vector<double>& client : latencies) {
+    result.latency_ms.insert(result.latency_ms.end(), client.begin(), client.end());
+  }
   result.stats = service.stats();
   return result;
 }
@@ -249,6 +261,12 @@ int main(int argc, char** argv) {
       json.value("sequential_ms", sequential_ms);
       json.value("wall_ms_1client", one.wall_ms);
       json.value("wall_ms_4client", four.wall_ms);
+      // Shared nearest-rank helper (common/stats.h) over the 4-client run's
+      // per-request submit -> resolve latencies.
+      const PercentileSummary latency = summarize_percentiles(four.latency_ms);
+      json.value("latency_p50_ms", latency.p50);
+      json.value("latency_p95_ms", latency.p95);
+      json.value("latency_p99_ms", latency.p99);
       json.value("throughput_fps_1client", fps_one);
       json.value("throughput_fps_4client", fps_four);
       json.value("scaling_1_to_4", scaling);
@@ -270,6 +288,7 @@ int main(int argc, char** argv) {
       json.close_object();
     }
     json.close_array();
+    json.value("peak_rss_bytes", benchutil::peak_rss_bytes());
     json.close_object();
     json.finish();
     table.print();

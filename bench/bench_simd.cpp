@@ -135,6 +135,7 @@ int main(int argc, char** argv) {
       json.close_object();
     }
     json.close_array();
+    json.value("peak_rss_bytes", benchutil::peak_rss_bytes());
     json.close_object();
     json.finish();
     std::printf("bench_simd: wrote %s/BENCH_simd.json\n", out_dir.c_str());

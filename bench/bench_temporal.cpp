@@ -159,6 +159,7 @@ int main(int argc, char** argv) {
       json.close_object();
     }
     json.close_array();
+    json.value("peak_rss_bytes", benchutil::peak_rss_bytes());
     json.close_object();
     json.finish();
     table.print();

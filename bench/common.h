@@ -3,9 +3,16 @@
 // small helpers for the paper-shaped output tables.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "common/runconfig.h"
 #include "scene/scene.h"
@@ -46,6 +53,40 @@ inline std::vector<std::string> split_csv(const std::string& csv) {
     start = comma + 1;
   }
   return out;
+}
+
+/// Peak resident set size of this process in bytes, or 0 when unavailable.
+/// Primary source is getrusage (ru_maxrss: kilobytes on Linux, bytes on
+/// macOS); Linux falls back to VmHWM in /proc/self/status when getrusage
+/// reports nothing. Recorded as `peak_rss_bytes` in every bench JSON — the
+/// memory half of the full-scale-scene readiness question (ROADMAP item 1).
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+#endif
+  }
+#endif
+#if defined(__linux__)
+  // Fallback: VmHWM ("high water mark") from /proc/self/status, in kB.
+  if (std::FILE* status = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    std::uint64_t kb = 0;
+    while (std::fgets(line, sizeof(line), status) != nullptr) {
+      if (std::strncmp(line, "VmHWM:", 6) == 0 &&
+          std::sscanf(line + 6, "%llu", reinterpret_cast<unsigned long long*>(&kb)) == 1) {
+        break;
+      }
+    }
+    std::fclose(status);
+    if (kb > 0) return kb * 1024u;
+  }
+#endif
+  return 0;
 }
 
 /// Banner describing the workload scale, printed by every bench binary so

@@ -405,6 +405,7 @@ bool run_software(const std::vector<std::string>& scenes, int repeat, std::size_
     json.close_object();
   }
   json.close_array();
+  json.value("peak_rss_bytes", benchutil::peak_rss_bytes());
   json.close_object();
   json.finish();
   std::printf("run_all: wrote %s\n", path.c_str());
@@ -446,6 +447,7 @@ void run_hardware(const std::vector<std::string>& scenes, const std::string& pat
     json.close_object();
   }
   json.close_array();
+  json.value("peak_rss_bytes", benchutil::peak_rss_bytes());
   json.close_object();
   json.finish();
   std::printf("run_all: wrote %s\n", path.c_str());

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/stats.h"
 #include "common/table.h"
 #include "common/timer.h"
 #include "core/pipeline.h"
@@ -22,6 +23,7 @@
 #include "render/framebuffer.h"
 #include "scene/scene.h"
 #include "service/render_service.h"
+#include "telemetry/metrics.h"
 #include "temporal/camera_path.h"
 
 int main(int argc, char** argv) {
@@ -118,23 +120,36 @@ int main(int argc, char** argv) {
     const double wall_ms = wall.lap_ms();
 
     TextTable table("per-client results");
-    table.set_header({"client", "ok", "p50 ms", "p95 ms", "reused groups"});
+    table.set_header({"client", "ok", "p50 ms", "p95 ms", "p99 ms", "reused groups"});
     bool all_ok = true;
+    std::vector<double> all_latencies;
     for (std::size_t c = 0; c < clients; ++c) {
       ClientResult& r = results[c];
-      std::sort(r.latency_ms.begin(), r.latency_ms.end());
-      const auto pct = [&](double p) {
-        return r.latency_ms[std::min(r.latency_ms.size() - 1,
-                                     static_cast<std::size_t>(p * static_cast<double>(
-                                                                      r.latency_ms.size())))];
-      };
+      all_latencies.insert(all_latencies.end(), r.latency_ms.begin(), r.latency_ms.end());
+      const PercentileSummary pct = summarize_percentiles(std::move(r.latency_ms));
       all_ok = all_ok && r.ok == cameras.size();
       table.add_row({std::to_string(c + 1), std::to_string(r.ok) + "/" +
                      std::to_string(cameras.size()),
-                     format_fixed(pct(0.50), 1), format_fixed(pct(0.95), 1),
-                     std::to_string(r.reused_groups)});
+                     format_fixed(pct.p50, 1), format_fixed(pct.p95, 1),
+                     format_fixed(pct.p99, 1), std::to_string(r.reused_groups)});
     }
     table.print();
+
+    // Fleet-wide percentiles, twice: exactly (sorted samples) and through
+    // the metrics registry's log-bucketed service.render_ms histogram the
+    // workers populated — the bucketed numbers must bracket the exact ones
+    // within the bucket growth factor.
+    const PercentileSummary overall = summarize_percentiles(std::move(all_latencies));
+    const LatencyHistogram render_hist =
+        telemetry::MetricsRegistry::global().latency("service.render_ms");
+    std::printf("\nclient-observed latency: p50 %.1f ms | p95 %.1f ms | p99 %.1f ms "
+                "(%zu samples)\n",
+                overall.p50, overall.p95, overall.p99, overall.count);
+    std::printf("service render histogram: p50 %.1f ms | p95 %.1f ms | p99 %.1f ms "
+                "(%llu samples, mean %.1f ms)\n",
+                render_hist.quantile(0.50), render_hist.quantile(0.95),
+                render_hist.quantile(0.99),
+                static_cast<unsigned long long>(render_hist.total()), render_hist.mean());
 
     // Spot-check bit-identity against the one-shot renderer.
     GsTgConfig reference_config = config.render;

@@ -62,6 +62,16 @@ What is compared, and why:
     are hard failures. sort_ms_removed / raster_ms_* are compared only
     under --check-times.
 
+  * Telemetry records (--telemetry/--telemetry-baseline pair of
+    BENCH_telemetry.json files): the recorded/exported event counts and the
+    per-stage span counts of the fixed single-threaded run are
+    machine-independent and must stay within tolerance; the fresh run's
+    overhead_ok (tracing cost on sort+raster under the committed 3% limit),
+    dropped_ok (zero ring overflow), deterministic (bit-identical image and
+    counters with tracing on), and stage_spans_ok flags are hard failures.
+    The raw plain/traced wall-clocks and the overhead ratio itself are
+    compared only under --check-times.
+
 Wall-clock fields (*_ms, speedups derived from them) are skipped by default:
 absolute times are machine-dependent and CI runners are noisy. Pass
 --check-times for same-machine comparisons (e.g. refreshing the baseline
@@ -80,6 +90,8 @@ Usage:
                  [--dataset-baseline=<baseline BENCH_dataset.json>]
                  [--quality=<fresh BENCH_quality.json>]
                  [--quality-baseline=<baseline BENCH_quality.json>]
+                 [--telemetry=<fresh BENCH_telemetry.json>]
+                 [--telemetry-baseline=<baseline BENCH_telemetry.json>]
 
 Baseline refresh procedure: see bench/README.md ("Perf-regression gate").
 """
@@ -144,6 +156,18 @@ QUALITY_TIME_KEYS = [
     "raster_ms_exact",
     "raster_ms_sortless",
     "raster_ms_delta",
+]
+
+TELEMETRY_COUNTER_KEYS = [
+    "frames",
+    "repeat",
+    "events_recorded",
+    "trace_events_written",
+]
+TELEMETRY_TIME_KEYS = [
+    "plain_sort_raster_ms",
+    "traced_sort_raster_ms",
+    "overhead_ratio",
 ]
 
 TEMPORAL_COUNTER_KEYS = [
@@ -405,6 +429,53 @@ def compare_quality(gate, fresh, baseline, check_times):
         )
 
 
+def compare_telemetry(gate, fresh, baseline, check_times):
+    """Gates a fresh BENCH_telemetry.json against the committed baseline."""
+    if fresh.get("scale", {}) != baseline.get("scale", {}):
+        gate.require(
+            "telemetry",
+            False,
+            f"scale mismatch (fresh {fresh.get('scale')} vs baseline {baseline.get('scale')})",
+        )
+        return
+    # Hard flags: the binary computed them on the fresh machine, so they are
+    # authoritative regardless of tolerance.
+    gate.require(
+        "telemetry",
+        fresh.get("overhead_ok") in (True, "true"),
+        f"tracing overhead {fresh.get('overhead_ratio')} exceeded the committed "
+        f"limit {fresh.get('overhead_limit')} on sort+raster",
+    )
+    gate.require(
+        "telemetry",
+        fresh.get("dropped_ok") in (True, "true"),
+        f"trace rings dropped {fresh.get('events_dropped')} events "
+        "(the run must fit the default capacity)",
+    )
+    gate.require(
+        "telemetry",
+        fresh.get("deterministic") in (True, "true"),
+        "image or counters diverged with tracing enabled",
+    )
+    gate.require(
+        "telemetry",
+        fresh.get("stage_spans_ok") in (True, "true"),
+        "a pipeline stage emitted no spans into the exported trace",
+    )
+    # Span counts are machine-independent at a fixed scale (single-threaded
+    # run): drift means instrumentation was added/removed or a stage stopped
+    # executing.
+    compare_section(gate, "telemetry", fresh, baseline, TELEMETRY_COUNTER_KEYS)
+    fresh_spans = fresh.get("stage_spans", {})
+    for stage, count in baseline.get("stage_spans", {}).items():
+        if stage not in fresh_spans:
+            gate.require("telemetry.stage_spans", False, f"stage '{stage}' missing")
+        else:
+            gate.check("telemetry.stage_spans", stage, fresh_spans[stage], count)
+    if check_times:
+        compare_section(gate, "telemetry", fresh, baseline, TELEMETRY_TIME_KEYS)
+
+
 def compare_service(gate, fresh, baseline, check_times):
     """Gates a fresh BENCH_service.json against the committed baseline."""
     if fresh.get("scale", {}) != baseline.get("scale", {}):
@@ -469,6 +540,8 @@ def main(argv):
     dataset_baseline_path = None
     quality_fresh_path = None
     quality_baseline_path = None
+    telemetry_fresh_path = None
+    telemetry_baseline_path = None
     for opt in opts:
         if opt.startswith("--tolerance="):
             tolerance = float(opt.split("=", 1)[1])
@@ -494,6 +567,10 @@ def main(argv):
             quality_fresh_path = opt.split("=", 1)[1]
         elif opt.startswith("--quality-baseline="):
             quality_baseline_path = opt.split("=", 1)[1]
+        elif opt.startswith("--telemetry-baseline="):
+            telemetry_baseline_path = opt.split("=", 1)[1]
+        elif opt.startswith("--telemetry="):
+            telemetry_fresh_path = opt.split("=", 1)[1]
         else:
             print(f"check_bench: unknown option {opt}")
             return 1
@@ -511,6 +588,9 @@ def main(argv):
         return 1
     if (quality_fresh_path is None) != (quality_baseline_path is None):
         print("check_bench: --quality and --quality-baseline must be given together")
+        return 1
+    if (telemetry_fresh_path is None) != (telemetry_baseline_path is None):
+        print("check_bench: --telemetry and --telemetry-baseline must be given together")
         return 1
 
     with open(args[0]) as f:
@@ -621,6 +701,13 @@ def main(argv):
         with open(quality_baseline_path) as f:
             quality_baseline = json.load(f)
         compare_quality(gate, quality_fresh, quality_baseline, check_times)
+
+    if telemetry_fresh_path is not None:
+        with open(telemetry_fresh_path) as f:
+            telemetry_fresh = json.load(f)
+        with open(telemetry_baseline_path) as f:
+            telemetry_baseline = json.load(f)
+        compare_telemetry(gate, telemetry_fresh, telemetry_baseline, check_times)
 
     if gate.failures:
         print(f"check_bench: FAIL — {len(gate.failures)} violation(s), {gate.checked} checks:")

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Structural validator for GSTG_TRACE output (Chrome trace-event JSON).
+
+Checks that an exported trace is well-formed enough to trust in Perfetto and
+in the CI artifact:
+
+  * the file parses as JSON and carries a traceEvents array;
+  * every event has a known phase (B, E, b, e, C, i, M), a name, and a
+    pid/tid;
+  * every (pid, tid) that emits events also carries thread_name metadata,
+    and the pid carries process_name metadata;
+  * timestamps are non-negative, and per (pid, tid) the B/E stream is
+    properly nested: every E matches the name of the innermost open B,
+    no E without an open B, nothing left open at the end;
+  * per (pid, tid) the B/E timestamp sequence is monotonically
+    non-decreasing (spans are exported begin-sorted with explicit closes);
+  * async 'b'/'e' pairs (queue waits, which overlap scoped spans freely)
+    match on (cat, id, name): every 'e' closes an open 'b' with the same
+    key, ts(e) >= ts(b), and nothing is left open;
+  * --require=<name> (repeatable, or comma-separated): at least one span
+    with that name exists somewhere in the trace — CI uses it to assert
+    the four pipeline stages and the service queue-wait spans survived.
+
+Usage:
+  check_trace.py <trace.json> [--require=preprocess,binning,...] [--quiet]
+
+Exit codes: 0 valid, 1 structural violation or missing required span,
+2 unreadable/unparseable input.
+"""
+
+import json
+import sys
+
+
+def fail(messages):
+    for m in messages:
+        print(f"check_trace: {m}")
+    print("check_trace: FAILED")
+    return 1
+
+
+def main(argv):
+    paths = [a for a in argv[1:] if not a.startswith("--")]
+    required = []
+    quiet = False
+    for opt in argv[1:]:
+        if not opt.startswith("--"):
+            continue
+        if opt.startswith("--require="):
+            required.extend(x for x in opt.split("=", 1)[1].split(",") if x)
+        elif opt == "--quiet":
+            quiet = True
+        else:
+            print(f"check_trace: unknown option {opt}")
+            return 2
+    if len(paths) != 1:
+        print(__doc__)
+        return 2
+
+    try:
+        with open(paths[0]) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_trace: cannot read {paths[0]}: {e}")
+        return 2
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail([f"{paths[0]}: no traceEvents array (or empty)"])
+
+    errors = []
+    named_processes = set()   # pids with process_name metadata
+    named_threads = set()     # (pid, tid) with thread_name metadata
+    seen_threads = set()      # (pid, tid) that emitted B/E/C/i events
+    open_stacks = {}          # (pid, tid) -> list of open B names
+    last_ts = {}              # (pid, tid) -> last B/E timestamp
+    open_async = {}           # (cat, id, name) -> begin ts of open 'b'
+    span_names = set()
+    counts = {"B": 0, "E": 0, "b": 0, "e": 0, "C": 0, "i": 0, "M": 0}
+
+    for n, e in enumerate(events):
+        ph = e.get("ph")
+        name = e.get("name")
+        pid = e.get("pid")
+        if ph not in counts:
+            errors.append(f"event {n}: unknown phase {ph!r}")
+            continue
+        counts[ph] += 1
+        if not name:
+            errors.append(f"event {n}: missing name")
+            continue
+        if pid is None:
+            errors.append(f"event {n} ({name}): missing pid")
+            continue
+
+        if ph == "M":
+            if name == "process_name":
+                named_processes.add(pid)
+            elif name == "thread_name":
+                named_threads.add((pid, e.get("tid")))
+            continue
+
+        tid = e.get("tid")
+        if tid is None:
+            errors.append(f"event {n} ({name}): missing tid")
+            continue
+        key = (pid, tid)
+        seen_threads.add(key)
+
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"event {n} ({name}): bad ts {ts!r}")
+            continue
+
+        if ph in ("b", "e"):
+            # Async pairs are keyed by (cat, id, name), not by thread
+            # nesting — a queue wait begins on the client thread while the
+            # worker is mid-render, so it may overlap scoped spans.
+            akey = (e.get("cat"), e.get("id"), name)
+            if akey[1] is None:
+                errors.append(f"event {n} ({name}): async event without id")
+            elif ph == "b":
+                if akey in open_async:
+                    errors.append(f"event {n} ({name}): duplicate async id {akey[1]}")
+                else:
+                    open_async[akey] = ts
+                    span_names.add(name)
+            else:
+                if akey not in open_async:
+                    errors.append(f"event {n}: e '{name}' id {akey[1]} with no open b")
+                elif ts < open_async[akey]:
+                    errors.append(
+                        f"event {n} ({name}): async end ts {ts} before begin "
+                        f"{open_async[akey]}"
+                    )
+                    del open_async[akey]
+                else:
+                    del open_async[akey]
+        elif ph in ("B", "E"):
+            if ts < last_ts.get(key, 0.0):
+                errors.append(
+                    f"event {n} ({name}): ts {ts} goes backwards on tid {tid} "
+                    f"(last {last_ts[key]})"
+                )
+            last_ts[key] = ts
+            stack = open_stacks.setdefault(key, [])
+            if ph == "B":
+                stack.append(name)
+                span_names.add(name)
+            else:
+                if not stack:
+                    errors.append(f"event {n}: E '{name}' with no open span on tid {tid}")
+                elif stack[-1] != name:
+                    errors.append(
+                        f"event {n}: E '{name}' does not match open span "
+                        f"'{stack[-1]}' on tid {tid}"
+                    )
+                else:
+                    stack.pop()
+
+    for key, stack in open_stacks.items():
+        if stack:
+            errors.append(f"tid {key[1]}: {len(stack)} span(s) left open: {stack}")
+    if counts["B"] != counts["E"]:
+        errors.append(f"unmatched span events: {counts['B']} B vs {counts['E']} E")
+    for akey, begin_ts in open_async.items():
+        errors.append(f"async span '{akey[2]}' id {akey[1]} left open (b at {begin_ts})")
+    if counts["b"] != counts["e"]:
+        errors.append(f"unmatched async events: {counts['b']} b vs {counts['e']} e")
+    for key in sorted(seen_threads):
+        if key not in named_threads:
+            errors.append(f"pid {key[0]} tid {key[1]} emits events but has no thread_name")
+        if key[0] not in named_processes:
+            errors.append(f"pid {key[0]} emits events but has no process_name")
+    for name in required:
+        if name not in span_names:
+            errors.append(f"required span '{name}' not found in trace")
+
+    if errors:
+        return fail(errors[:50])
+    if not quiet:
+        print(
+            f"check_trace: OK ({counts['B']} spans, {counts['b']} async spans, "
+            f"{counts['C']} counter samples, {counts['i']} instants across "
+            f"{len(seen_threads)} thread(s); "
+            f"span names: {', '.join(sorted(span_names))})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

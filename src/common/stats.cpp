@@ -1,5 +1,6 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -55,6 +56,102 @@ double geometric_mean(const std::vector<double>& values) {
     log_sum += std::log(v);
   }
   return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("percentile_sorted: empty sample");
+  }
+  if (!(p >= 0.0) || !(p <= 1.0)) {
+    throw std::invalid_argument("percentile_sorted: p outside [0, 1]");
+  }
+  // Nearest-rank: the smallest value with at least ceil(p * n) samples at or
+  // below it; p=0 maps to the first element rather than rank ceil(0)=0.
+  const auto n = sorted.size();
+  const auto rank = static_cast<std::size_t>(std::ceil(p * static_cast<double>(n)));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+double percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, p);
+}
+
+PercentileSummary summarize_percentiles(std::vector<double> values) {
+  PercentileSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.p50 = percentile_sorted(values, 0.50);
+  s.p95 = percentile_sorted(values, 0.95);
+  s.p99 = percentile_sorted(values, 0.99);
+  s.min = values.front();
+  s.max = values.back();
+  s.count = values.size();
+  return s;
+}
+
+LatencyHistogram::LatencyHistogram(double lo, double growth, std::size_t buckets)
+    : lo_(lo), log_growth_(std::log(growth)), counts_(buckets, 0) {
+  if (!(lo > 0.0) || !(growth > 1.0) || buckets == 0) {
+    throw std::invalid_argument("LatencyHistogram: need lo > 0, growth > 1, buckets > 0");
+  }
+}
+
+std::size_t LatencyHistogram::bucket_index(double x) const {
+  if (!(x > lo_)) return 0;
+  const auto idx = static_cast<std::size_t>(std::log(x / lo_) / log_growth_);
+  return idx < counts_.size() ? idx : counts_.size() - 1;
+}
+
+void LatencyHistogram::add(double x) {
+  if (total_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++total_;
+  sum_ += x;
+  ++counts_[bucket_index(x)];
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.total_ == 0) return;
+  if (counts_.size() != other.counts_.size() || lo_ != other.lo_ ||
+      log_growth_ != other.log_growth_) {
+    throw std::invalid_argument("LatencyHistogram::merge: layout mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::quantile(double p) const {
+  if (total_ == 0) return 0.0;
+  p = std::min(1.0, std::max(0.0, p));
+  const auto rank = static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(total_)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      // Tighten the estimate with the true extrema when they land in this
+      // bucket's range; otherwise report the bucket's upper edge.
+      return std::min(bucket_upper_edge(i), max_);
+    }
+  }
+  return max_;
+}
+
+double LatencyHistogram::bucket_upper_edge(std::size_t i) const {
+  return lo_ * std::exp(log_growth_ * static_cast<double>(i + 1));
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), bins_(bins, 0) {

@@ -38,6 +38,71 @@ class RunningStat {
 /// (Figs. 14 and 15).
 double geometric_mean(const std::vector<double>& values);
 
+/// Nearest-rank percentile over an ascending-sorted sample. `p` in [0, 1];
+/// p=0 returns the minimum, p=1 the maximum. Throws std::invalid_argument on
+/// an empty sample or p outside [0, 1]. The single blessed spelling of the
+/// index math every latency report uses (examples/render_server,
+/// bench_service) — the inline versions it replaced clamped differently.
+double percentile_sorted(const std::vector<double>& sorted, double p);
+
+/// Sorts a copy and returns percentile_sorted over it; convenience for
+/// one-shot reports where the caller does not need the sorted sample back.
+double percentile(std::vector<double> values, double p);
+
+/// Common latency summary (all via percentile_sorted on one sort).
+struct PercentileSummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+PercentileSummary summarize_percentiles(std::vector<double> values);
+
+/// Log-bucketed histogram for positive quantities with heavy tails (latency
+/// in ms, queue depths): bucket edges grow geometrically from `lo` by
+/// `growth` per bucket, so relative quantile error is bounded by the growth
+/// factor regardless of magnitude. Fixed footprint, O(1) add, mergeable —
+/// suitable for long-running services where keeping every sample (as the
+/// exact percentile helpers above require) is not.
+class LatencyHistogram {
+ public:
+  /// Defaults cover [1 µs, ~72 s] in ms units at ≤5% relative error.
+  explicit LatencyHistogram(double lo = 1e-3, double growth = 1.05,
+                            std::size_t buckets = 360);
+
+  void add(double x);
+  void merge(const LatencyHistogram& other);
+
+  /// Quantile estimate: upper edge of the bucket holding the p-th sample
+  /// (conservative for latency). Samples below `lo` report `lo`; returns 0
+  /// when empty. `p` outside [0, 1] is clamped.
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+  [[nodiscard]] double min() const { return total_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return total_ ? max_ : 0.0; }
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  /// Inclusive upper edge of bucket i (lo * growth^(i+1)).
+  [[nodiscard]] double bucket_upper_edge(std::size_t i) const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(double x) const;
+
+  double lo_;
+  double log_growth_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 /// Fixed-bin histogram for distribution inspection in tests and examples.
 class Histogram {
  public:

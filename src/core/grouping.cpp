@@ -8,6 +8,7 @@
 #include "common/parallel.h"
 #include "render/rasterize.h"
 #include "render/simd_kernels.h"
+#include "telemetry/trace.h"
 
 namespace gstg {
 
@@ -149,6 +150,7 @@ void sort_groups(BinnedSplats& group_bins, std::vector<TileMask>& masks,
   const int index_bits = key_bits - 32;
 
   parallel_for_chunks(0, groups, [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+    GSTG_SPAN("sort_groups_chunk");
     SortWorkerScratch& ws = s.workers[worker];
     for (std::size_t g = lo; g < hi; ++g) {
       const std::uint32_t begin = group_bins.offsets[g];
@@ -192,6 +194,7 @@ void rasterize_grouped_impl(const GroupedFrame& frame, Framebuffer& fb, std::siz
   std::atomic<std::size_t> alpha{0}, blends{0}, exits{0}, list_work{0}, pixels{0}, checks{0};
 
   parallel_for_chunks(0, tiles, [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+    GSTG_SPAN("raster_chunk");
     WorkerStats local;
     RasterScratch::Worker& wk = rs.workers[worker];
     std::vector<std::uint32_t>& filtered = wk.filtered;

@@ -62,6 +62,13 @@ struct GsTgConfig {
   /// reporting per-frame quality (FrameContext::quality).
   PipelineMode pipeline = PipelineMode::kExact;
   std::size_t threads = 0;  ///< 0 = auto
+  /// Starts the process-global trace collector (src/telemetry/trace.h) when
+  /// a Renderer is constructed with this config. GSTG_TRACE=<path> does the
+  /// same from the environment and additionally names the JSON written at
+  /// process exit; with only `trace` set, the caller drains via
+  /// telemetry::TraceSession::global().write(path). Tracing is
+  /// observational: counters and images are bit-identical either way.
+  bool trace = false;
 
   /// The RenderConfig this GS-TG config implies for the stages shared with
   /// the baseline pipeline (preprocessing, per-tile sorting in comparison

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/runconfig.h"
+#include "telemetry/trace.h"
 
 namespace gstg {
 
@@ -15,19 +16,25 @@ Renderer::Renderer(const GsTgConfig& config) : config_(config) {
   config_.residency = residency_mode_from_env(config.residency);
   config_.pipeline = pipeline_mode_from_env(config.pipeline);
   config_.validate();
+  telemetry::ensure_started_from_env();
+  if (config_.trace) telemetry::ensure_collecting();
 }
 
 void Renderer::render(const GaussianCloud& cloud, const Camera& camera,
                       FrameContext& ctx) const {
+  GSTG_SPAN("frame");
   ctx.times = {};
   ctx.counters = {};
   ctx.quality = {};
   Timer timer;
 
-  // Preprocessing: features + culling. The scratch-reusing form keeps the
-  // steady state allocation-free.
-  preprocess_into(cloud, camera, config_.render_config(), ctx.counters, ctx.splats,
-                  ctx.preprocess);
+  {
+    // Preprocessing: features + culling. The scratch-reusing form keeps the
+    // steady state allocation-free.
+    GSTG_SPAN("preprocess");
+    preprocess_into(cloud, camera, config_.render_config(), ctx.counters, ctx.splats,
+                    ctx.preprocess);
+  }
   finish_frame(camera, ctx, timer);
 }
 
@@ -53,13 +60,16 @@ bool splats_identical(const ProjectedSplat& a, const ProjectedSplat& b) {
 
 void Renderer::render(const CompressedCloud& cloud, const Camera& camera,
                       FrameContext& ctx) const {
+  GSTG_SPAN("frame");
   ctx.times = {};
   ctx.counters = {};
   ctx.quality = {};
   Timer timer;
   const RenderConfig rc = config_.render_config();
 
-  switch (config_.residency) {
+  {
+    GSTG_SPAN("preprocess");
+    switch (config_.residency) {
     case ResidencyMode::kFloat32:
       cloud.decode_range(0, cloud.size(), ctx.decoded);
       preprocess_into(ctx.decoded, camera, rc, ctx.counters, ctx.splats, ctx.preprocess);
@@ -100,6 +110,7 @@ void Renderer::render(const CompressedCloud& cloud, const Camera& camera,
       }
       break;
     }
+    }
   }
   finish_frame(camera, ctx, timer);
 }
@@ -111,13 +122,19 @@ void Renderer::finish_frame(const Camera& camera, FrameContext& ctx, Timer& time
   ctx.frame.tile_grid = CellGrid::over_image(camera.width(), camera.height(), config_.tile_size);
   ctx.frame.group_grid =
       CellGrid::over_image(camera.width(), camera.height(), config_.group_size);
-  bin_splats_into(ctx.splats, ctx.frame.group_grid, config_.group_boundary, config_.threads,
-                  ctx.counters, ctx.frame.group_bins, ctx.binning, config_.binning);
+  {
+    GSTG_SPAN("binning");
+    bin_splats_into(ctx.splats, ctx.frame.group_grid, config_.group_boundary, config_.threads,
+                    ctx.counters, ctx.frame.group_bins, ctx.binning, config_.binning);
+  }
   ctx.times.preprocess_ms = timer.lap_ms();
 
-  // Bitmask generation (sequential here; overlapped with sorting in HW).
-  generate_bitmasks_into(ctx.splats, ctx.frame.group_bins, ctx.frame.tile_grid, config_,
-                         ctx.counters, ctx.frame.masks);
+  {
+    // Bitmask generation (sequential here; overlapped with sorting in HW).
+    GSTG_SPAN("bitmask");
+    generate_bitmasks_into(ctx.splats, ctx.frame.group_bins, ctx.frame.tile_grid, config_,
+                           ctx.counters, ctx.frame.masks);
+  }
   ctx.times.bitmask_ms = timer.lap_ms();
 
   if (config_.pipeline != PipelineMode::kExact) {
@@ -125,15 +142,21 @@ void Renderer::finish_frame(const Camera& camera, FrameContext& ctx, Timer& time
     return;
   }
 
-  // Group-wise sorting.
-  sort_groups(ctx.frame.group_bins, ctx.frame.masks, ctx.splats, config_.threads, ctx.counters,
-              config_.sort_algo, &ctx.sort);
+  {
+    // Group-wise sorting.
+    GSTG_SPAN("sort_groups");
+    sort_groups(ctx.frame.group_bins, ctx.frame.masks, ctx.splats, config_.threads, ctx.counters,
+                config_.sort_algo, &ctx.sort);
+  }
   ctx.times.sort_ms = timer.lap_ms();
 
-  // Tile-wise rasterization with bitmask filtering.
-  ctx.image.resize(camera.width(), camera.height());
-  rasterize_grouped(ctx.frame, ctx.splats, ctx.image, config_.threads, ctx.counters,
-                    &ctx.raster);
+  {
+    // Tile-wise rasterization with bitmask filtering.
+    GSTG_SPAN("raster");
+    ctx.image.resize(camera.width(), camera.height());
+    rasterize_grouped(ctx.frame, ctx.splats, ctx.image, config_.threads, ctx.counters,
+                      &ctx.raster);
+  }
   ctx.times.raster_ms = timer.lap_ms();
 }
 
@@ -143,9 +166,12 @@ void finish_sortless_stages(const GsTgConfig& config, const Camera& camera, Fram
   // kernel directly (its output is invariant under any reordering).
   ctx.times.sort_ms = timer.lap_ms();
 
-  ctx.image.resize(camera.width(), camera.height());
-  rasterize_grouped_sortless(ctx.frame, ctx.splats, ctx.image, config.threads, ctx.counters,
-                             &ctx.raster);
+  {
+    GSTG_SPAN("raster");
+    ctx.image.resize(camera.width(), camera.height());
+    rasterize_grouped_sortless(ctx.frame, ctx.splats, ctx.image, config.threads, ctx.counters,
+                               &ctx.raster);
+  }
   ctx.times.raster_ms = timer.lap_ms();
 
   if (config.pipeline == PipelineMode::kVerify) {
@@ -153,6 +179,7 @@ void finish_sortless_stages(const GsTgConfig& config, const Camera& camera, Fram
     // work is charged to a discarded counter record — ctx.counters (and
     // ctx.image, already flushed above) match a pure kSortless frame, and
     // the audit time stays out of the per-stage attribution.
+    GSTG_SPAN("quality_audit");
     RenderCounters audit;
     sort_groups(ctx.frame.group_bins, ctx.frame.masks, ctx.splats, config.threads, audit,
                 config.sort_algo, &ctx.sort);

@@ -2,6 +2,7 @@
 
 #include "common/parallel.h"
 #include "render/simd_kernels.h"
+#include "telemetry/trace.h"
 
 namespace gstg {
 
@@ -39,6 +40,7 @@ void preprocess_into(const GaussianCloud& cloud, const Camera& camera,
   args.keep = keep.data();
 
   parallel_for_chunks(0, n, [&](std::size_t lo, std::size_t hi, std::size_t) {
+    GSTG_SPAN("preprocess_chunk");
     kernels.preprocess_chunk(args, lo, hi);
   }, config.threads);
 
@@ -73,6 +75,7 @@ void preprocess_compressed_into(const CompressedCloud& cloud, const Camera& came
   const Vec3 cam_pos = camera.position();
 
   parallel_for_chunks(0, n, [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+    GSTG_SPAN("preprocess_compressed_chunk");
     GaussianCloud& chunk = decode.chunks[worker];
     // Stream kDecodeBlock-sized blocks: decode into the worker's chunk
     // cloud, then run the kernel with chunk-local indices and slot/keep

@@ -6,9 +6,12 @@
 #include <utility>
 
 #include "common/runconfig.h"
+#include "common/timer.h"
 #include "core/pipeline.h"
 #include "dataset/dataset.h"
 #include "gaussian/ply_io.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace gstg {
 
@@ -102,10 +105,16 @@ RenderResponse error_response(ServiceStatus status, std::string message) {
 
 RenderService::RenderService(const ServiceConfig& config, Loader loader)
     : config_(config.resolved()), cache_(config_.scene_capacity, std::move(loader)) {
+  telemetry::ensure_started_from_env();
+  telemetry::ensure_metrics_from_env();
+  if (config_.trace) telemetry::ensure_collecting();
   workers_.reserve(config_.workers);
   try {
     for (std::size_t w = 0; w < config_.workers; ++w) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, w] {
+        telemetry::set_thread_name("service-worker-" + std::to_string(w));
+        worker_loop();
+      });
     }
   } catch (...) {
     // A failed spawn (thread exhaustion) must not unwind joinable threads —
@@ -157,9 +166,14 @@ std::future<RenderResponse> RenderService::enqueue(RenderRequest&& request, bool
           "queue full (" + std::to_string(config_.queue_capacity) + " pending requests)"));
       return future;
     }
-    queue_.push_back(Pending{std::move(request), std::move(promise)});
+    Pending pending{std::move(request), std::move(promise)};
+    pending.enqueued_ns = telemetry::now_ns();
+    queue_.push_back(std::move(pending));
     ++stats_.requests_submitted;
     stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+    telemetry::emit_counter("queue_depth", static_cast<double>(queue_.size()));
+    telemetry::MetricsRegistry::global().sample_gauge("service.queue_depth",
+                                                      static_cast<double>(queue_.size()));
   }
   work_cv_.notify_one();
   return future;
@@ -284,35 +298,41 @@ RenderResponse RenderService::render_one(const RenderRequest& request, const Gau
                                          FrameContext& stateless_ctx, Renderer& fast,
                                          FrameContext& fast_ctx) {
   RenderResponse response;
+  Timer timer;
   try {
-    if (request.fast_tier) {
-      // Sortless fast tier: stateless by validation, rendered through the
-      // per-worker kSortless renderer. Lossy vs the exact pipeline, but
-      // deterministic and order-independent, so the verify gate below still
-      // holds bit-for-bit under the same sortless reference config.
-      fast.render(cloud, request.camera, fast_ctx);
-      response.image = fast_ctx.image;
-      response.counters = fast_ctx.counters;
-    } else if (session != nullptr) {
-      if (session->scene_key != request.scene) {
-        // The cross-frame cache is meaningless across scenes: cold-start it.
-        session->renderer->invalidate();
-        session->scene_key = request.scene;
+    {
+      GSTG_SPAN("service_render");
+      if (request.fast_tier) {
+        // Sortless fast tier: stateless by validation, rendered through the
+        // per-worker kSortless renderer. Lossy vs the exact pipeline, but
+        // deterministic and order-independent, so the verify gate below still
+        // holds bit-for-bit under the same sortless reference config.
+        fast.render(cloud, request.camera, fast_ctx);
+        response.image = fast_ctx.image;
+        response.counters = fast_ctx.counters;
+      } else if (session != nullptr) {
+        if (session->scene_key != request.scene) {
+          // The cross-frame cache is meaningless across scenes: cold-start it.
+          session->renderer->invalidate();
+          session->scene_key = request.scene;
+        }
+        session->renderer->render(cloud, request.camera, session->ctx);
+        response.image = session->ctx.image;
+        response.counters = session->ctx.counters;
+        response.temporal = session->renderer->last_frame();
+      } else {
+        stateless.render(cloud, request.camera, stateless_ctx);
+        response.image = stateless_ctx.image;
+        response.counters = stateless_ctx.counters;
       }
-      session->renderer->render(cloud, request.camera, session->ctx);
-      response.image = session->ctx.image;
-      response.counters = session->ctx.counters;
-      response.temporal = session->renderer->last_frame();
-    } else {
-      stateless.render(cloud, request.camera, stateless_ctx);
-      response.image = stateless_ctx.image;
-      response.counters = stateless_ctx.counters;
     }
+    telemetry::MetricsRegistry::global().record_latency("service.render_ms", timer.lap_ms());
     if (config_.verify) {
       // The kVerify-style service gate: every response must be bit-identical
       // to a sequential one-shot render of the same request. Fast-tier
       // responses compare against the fast renderer's resolved config (its
       // sortless output is deterministic, so the bit-compare stays valid).
+      GSTG_SPAN("service_verify");
       GsTgConfig reference = request.fast_tier ? fast.config() : config_.render;
       reference.temporal = TemporalMode::kOff;
       const RenderResult oneshot = render_gstg(cloud, request.camera, reference);
@@ -358,6 +378,19 @@ void RenderService::worker_loop() {
     }
     space_cv_.notify_all();
     if (batch.empty()) continue;
+
+    // Each request's queue residency, [enqueue, dispatch), attributed to the
+    // worker that dispatched it.
+    const std::uint64_t dispatched_ns = telemetry::now_ns();
+    for (const Pending& pending : batch) {
+      // Async, not scoped: the wait began on the client thread at enqueue
+      // time and can overlap this worker's own spans without nesting.
+      telemetry::emit_async_span("queue_wait", pending.enqueued_ns, dispatched_ns);
+      telemetry::MetricsRegistry::global().record_latency(
+          "service.queue_wait_ms",
+          static_cast<double>(dispatched_ns - pending.enqueued_ns) / 1e6);
+    }
+    GSTG_SPAN("service_batch");
 
     const std::string key = batch.front().request.scene;
     const std::uint64_t session_id = batch.front().request.session;

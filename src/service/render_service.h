@@ -107,6 +107,11 @@ struct ServiceConfig {
   std::size_t max_batch = 0;       ///< batch-size cap; 0 = GSTG_SERVICE_BATCH or 16
   std::size_t session_capacity = 0;  ///< resident session streams; 0 = GSTG_SERVICE_SESSIONS or 64
   bool verify = false;             ///< re-render every response via render_gstg and compare
+  /// Starts the process-global trace collector (src/telemetry/trace.h) so
+  /// the service's queue-wait/batch/render/verify spans are recorded;
+  /// GSTG_TRACE=<path> does the same and names the JSON written at exit.
+  /// Purely observational — responses and stats() are identical either way.
+  bool trace = false;
 
   ServiceConfig();
 
@@ -153,6 +158,9 @@ class RenderService {
   struct Pending {
     RenderRequest request;
     std::promise<RenderResponse> promise;
+    /// telemetry::now_ns() at queue entry; the dispatching worker emits the
+    /// [enqueue, dispatch) interval as that request's queue_wait span.
+    std::uint64_t enqueued_ns = 0;
   };
 
   /// One client camera stream: its temporal renderer (cross-frame cache),

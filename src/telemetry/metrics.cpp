@@ -1,0 +1,203 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "telemetry/trace.h"
+
+namespace gstg::telemetry {
+
+namespace {
+
+/// Bounded drop-oldest gauge series: a classic ring, unlike the trace rings
+/// which drop-newest (a trace wants the warm-up, a dashboard wants the tail).
+struct GaugeSeries {
+  std::vector<GaugeSample> samples;  ///< ring storage, grows to capacity once
+  std::size_t head = 0;              ///< next write position once full
+  bool full = false;
+
+  void push(const GaugeSample& s) {
+    if (samples.size() < MetricsRegistry::kGaugeCapacity && !full) {
+      samples.push_back(s);
+      if (samples.size() == MetricsRegistry::kGaugeCapacity) full = true;
+      return;
+    }
+    samples[head] = s;
+    head = (head + 1) % samples.size();
+  }
+
+  [[nodiscard]] std::vector<GaugeSample> ordered() const {
+    if (!full) return samples;
+    std::vector<GaugeSample> out;
+    out.reserve(samples.size());
+    out.insert(out.end(), samples.begin() + static_cast<std::ptrdiff_t>(head), samples.end());
+    out.insert(out.end(), samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(head));
+    return out;
+  }
+};
+
+/// std::map keeps snapshot_json() output deterministically name-ordered.
+struct State {
+  mutable std::mutex mutex;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, LatencyHistogram> histograms;
+  std::map<std::string, GaugeSeries> gauges;
+};
+
+State& state() {
+  static State* s = new State;  // leaked: atexit hooks may run after statics die
+  return *s;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* r = new MetricsRegistry;
+  return *r;
+}
+
+void MetricsRegistry::add_counter(const std::string& name, std::uint64_t delta) {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.counters[name] += delta;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.counters.find(name);
+  return it == s.counters.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::record_latency(const std::string& name, double ms) {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.histograms.try_emplace(name).first->second.add(ms);
+}
+
+LatencyHistogram MetricsRegistry::latency(const std::string& name) const {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.histograms.find(name);
+  return it == s.histograms.end() ? LatencyHistogram{} : it->second;
+}
+
+void MetricsRegistry::sample_gauge(const std::string& name, double value) {
+  GaugeSample sample{now_ns(), value};
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.gauges[name].push(sample);
+}
+
+std::vector<GaugeSample> MetricsRegistry::gauge(const std::string& name) const {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.gauges.find(name);
+  return it == s.gauges.end() ? std::vector<GaugeSample>{} : it->second.ordered();
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  std::ostringstream out;
+  out.precision(6);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : s.counters) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"latency_ms\": {";
+  first = true;
+  for (const auto& [name, hist] : s.histograms) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": {"
+        << "\"count\": " << hist.total() << ", \"mean\": " << hist.mean()
+        << ", \"min\": " << hist.min() << ", \"max\": " << hist.max()
+        << ", \"p50\": " << hist.quantile(0.50) << ", \"p95\": " << hist.quantile(0.95)
+        << ", \"p99\": " << hist.quantile(0.99) << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < hist.bucket_count(); ++i) {
+      if (hist.bucket(i) == 0) continue;
+      out << (first_bucket ? "" : ", ") << "[" << hist.bucket_upper_edge(i) << ", "
+          << hist.bucket(i) << "]";
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, series] : s.gauges) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": [";
+    bool first_sample = true;
+    for (const GaugeSample& sample : series.ordered()) {
+      out << (first_sample ? "" : ", ") << "[" << sample.t_ns << ", " << sample.value << "]";
+      first_sample = false;
+    }
+    out << "]";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    throw std::runtime_error("telemetry: cannot open metrics output '" + path + "'");
+  }
+  const std::string json = snapshot_json();
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+}
+
+void MetricsRegistry::reset() {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  s.counters.clear();
+  s.histograms.clear();
+  s.gauges.clear();
+}
+
+namespace {
+std::string& metrics_env_path() {
+  static std::string* path = new std::string;
+  return *path;
+}
+
+void write_metrics_at_exit() {
+  try {
+    MetricsRegistry::global().write_json(metrics_env_path());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "telemetry: %s\n", e.what());
+  }
+}
+}  // namespace
+
+bool ensure_metrics_from_env() {
+  static const bool registered = [] {
+    const char* path = std::getenv("GSTG_METRICS");
+    if (path == nullptr || *path == '\0') return false;
+    metrics_env_path() = path;
+    std::atexit(write_metrics_at_exit);
+    return true;
+  }();
+  return registered;
+}
+
+}  // namespace gstg::telemetry

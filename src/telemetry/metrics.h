@@ -1,0 +1,75 @@
+// Process-global metrics registry: named monotonic counters, log-bucketed
+// latency histograms (gstg::LatencyHistogram), and bounded gauge time series
+// (queue depth over time), snapshotable as JSON.
+//
+// This is the aggregate companion to trace.h: spans answer "where did this
+// frame's time go", the registry answers "what did the last N thousand
+// requests look like". Unlike the rings it is mutex-guarded — its callers
+// are the service layer and bench drivers (per-request granularity), never
+// the per-splat render hot path.
+//
+// GSTG_METRICS=<path> writes the JSON snapshot at process exit, mirroring
+// GSTG_TRACE; render_server and the bench drivers can also snapshot
+// explicitly mid-run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace gstg::telemetry {
+
+/// One (timestamp, value) gauge sample; timestamps are now_ns() so gauge
+/// series line up with trace spans.
+struct GaugeSample {
+  std::uint64_t t_ns = 0;
+  double value = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  /// Adds `delta` to the named monotonic counter (created at zero on first
+  /// use).
+  void add_counter(const std::string& name, std::uint64_t delta = 1);
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+
+  /// Records one latency observation (ms) into the named log-bucketed
+  /// histogram (created on first use).
+  void record_latency(const std::string& name, double ms);
+  /// Copy of the named histogram; empty default-constructed histogram when
+  /// the name was never recorded.
+  [[nodiscard]] LatencyHistogram latency(const std::string& name) const;
+
+  /// Appends a gauge sample at now_ns(). Each series keeps the most recent
+  /// `kGaugeCapacity` samples (drop-oldest) so long-running services stay
+  /// bounded.
+  void sample_gauge(const std::string& name, double value);
+  [[nodiscard]] std::vector<GaugeSample> gauge(const std::string& name) const;
+
+  /// Serializes every counter, histogram (count/mean/min/max/p50/p95/p99 and
+  /// non-empty buckets), and gauge series as one JSON object.
+  [[nodiscard]] std::string snapshot_json() const;
+
+  /// snapshot_json() to a file; throws std::runtime_error when the file
+  /// cannot be opened.
+  void write_json(const std::string& path) const;
+
+  /// Drops all registered metrics (tests; not for concurrent use with
+  /// writers).
+  void reset();
+
+  static constexpr std::size_t kGaugeCapacity = 4096;
+
+ private:
+  MetricsRegistry() = default;
+};
+
+/// GSTG_METRICS=<path>: registers an atexit hook writing the registry
+/// snapshot to <path>. Idempotent; returns true when the variable is set.
+bool ensure_metrics_from_env();
+
+}  // namespace gstg::telemetry

@@ -1,0 +1,350 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace gstg::telemetry {
+
+namespace {
+
+/// One thread's event buffer. The owning thread is the only producer; the
+/// drain (TraceSession::write, after recording stopped or from stats())
+/// reads slots below the acquire-loaded count, so a half-written in-flight
+/// slot is never observed. A full ring drops (never blocks, never grows).
+struct ThreadRing {
+  std::vector<TraceEvent> events;       ///< preallocated to capacity at creation
+  std::atomic<std::size_t> count{0};    ///< published events (owner store-release)
+  std::atomic<std::uint64_t> dropped{0};
+  std::size_t tid = 0;                  ///< dense per-process thread id for the export
+  std::string name;                     ///< thread_name metadata (registry mutex guards writes)
+
+  void push(const TraceEvent& e) {
+    const std::size_t n = count.load(std::memory_order_relaxed);
+    if (n >= events.size()) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    events[n] = e;
+    count.store(n + 1, std::memory_order_release);
+  }
+};
+
+/// Registry of every ring ever created. Rings are never freed (a detached
+/// thread may outlive the session that allocated its ring), so the
+/// thread_local pointer below stays valid for the life of the process; the
+/// registry itself is leaked to dodge static-destruction-order issues with
+/// threads that exit after main.
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+  std::size_t ring_capacity = TraceOptions{}.ring_capacity;
+  std::string pending_thread_name;  // unused; placeholder keeps layout obvious
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+/// The calling thread's ring, created on first use. Creation allocates (the
+/// one-time per-thread cost); every later event is allocation-free.
+ThreadRing& local_ring() {
+  thread_local ThreadRing* ring = nullptr;
+  if (ring == nullptr) {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    auto owned = std::make_unique<ThreadRing>();
+    owned->tid = reg.rings.size();
+    owned->events.resize(reg.ring_capacity);
+    ring = owned.get();
+    reg.rings.push_back(std::move(owned));
+  }
+  return *ring;
+}
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t process_t0() {
+  static const std::uint64_t t0 = steady_ns();
+  return t0;
+}
+
+/// JSON string escaping for names (names are literals, but thread names are
+/// caller strings).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  // Pin the timebase before sampling: on the very first call the evaluation
+  // order `steady_ns() - process_t0()` could capture `now` before t0 exists,
+  // wrapping the subtraction.
+  const std::uint64_t t0 = process_t0();
+  return steady_ns() - t0;
+}
+
+void emit_span(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.begin_ns = begin_ns;
+  e.end_ns = end_ns < begin_ns ? begin_ns : end_ns;
+  e.kind = EventKind::kSpan;
+  local_ring().push(e);
+}
+
+void emit_async_span(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.begin_ns = begin_ns;
+  e.end_ns = end_ns < begin_ns ? begin_ns : end_ns;
+  e.kind = EventKind::kAsyncSpan;
+  local_ring().push(e);
+}
+
+void emit_counter(const char* name, double value) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.begin_ns = now_ns();
+  e.value = value;
+  e.kind = EventKind::kCounter;
+  local_ring().push(e);
+}
+
+void emit_instant(const char* name) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.begin_ns = now_ns();
+  e.kind = EventKind::kInstant;
+  local_ring().push(e);
+}
+
+void set_thread_name(const std::string& name) {
+  ThreadRing& ring = local_ring();
+  const std::lock_guard<std::mutex> lock(registry().mutex);
+  ring.name = name;
+}
+
+TraceSession& TraceSession::global() {
+  static TraceSession* session = new TraceSession;
+  return *session;
+}
+
+void TraceSession::start(const TraceOptions& options) {
+  Registry& reg = registry();
+  // Close the recording window before clearing so producers mid-push belong
+  // to either the old session (cleared below) or the new one, never both.
+  detail::g_enabled.store(false, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.ring_capacity = options.ring_capacity == 0 ? TraceOptions{}.ring_capacity
+                                                   : options.ring_capacity;
+    for (auto& ring : reg.rings) {
+      ring->count.store(0, std::memory_order_relaxed);
+      ring->dropped.store(0, std::memory_order_relaxed);
+      if (ring->events.size() != reg.ring_capacity) ring->events.resize(reg.ring_capacity);
+    }
+  }
+  options_ = options;
+  process_t0();  // pin the timebase before the first event
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void TraceSession::stop() { detail::g_enabled.store(false, std::memory_order_release); }
+
+TraceStats TraceSession::stats() const {
+  TraceStats s;
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  s.threads = reg.rings.size();
+  for (const auto& ring : reg.rings) {
+    s.recorded += ring->count.load(std::memory_order_acquire);
+    s.dropped += static_cast<std::size_t>(ring->dropped.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+std::size_t TraceSession::write(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    throw std::runtime_error("telemetry: cannot open trace output '" + path + "'");
+  }
+
+  // Snapshot every ring under the registry lock. Copying is deliberate: the
+  // export must not hold the lock while formatting, and a still-running
+  // producer only ever appends past the acquired count.
+  struct RingSnapshot {
+    std::size_t tid;
+    std::string name;
+    std::vector<TraceEvent> events;
+    std::uint64_t dropped;
+  };
+  std::vector<RingSnapshot> rings;
+  {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    rings.reserve(reg.rings.size());
+    for (const auto& ring : reg.rings) {
+      RingSnapshot snap;
+      snap.tid = ring->tid;
+      snap.name = ring->name;
+      const std::size_t n = ring->count.load(std::memory_order_acquire);
+      snap.events.assign(ring->events.begin(),
+                         ring->events.begin() + static_cast<std::ptrdiff_t>(n));
+      snap.dropped = ring->dropped.load(std::memory_order_relaxed);
+      rings.push_back(std::move(snap));
+    }
+  }
+
+  constexpr int kPid = 1;
+  bool first = true;
+  const auto emit = [&](const char* fmt, auto... args) {
+    if (!first) std::fputs(",\n", file);
+    first = false;
+    std::fprintf(file, fmt, args...);
+  };
+  const auto ts_us = [](std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; };
+
+  std::fputs("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n", file);
+  emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, "
+       "\"args\": {\"name\": \"%s\"}}",
+       kPid, escape(options_.process_name).c_str());
+
+  std::size_t written = 0;
+  std::uint64_t dropped_total = 0;
+  std::uint64_t async_id = 0;  // unique per async pair; Chrome matches b/e on (cat, id, name)
+  for (const RingSnapshot& ring : rings) {
+    dropped_total += ring.dropped;
+    const std::string tname =
+        ring.name.empty() ? (ring.tid == 0 ? "main" : "thread-" + std::to_string(ring.tid))
+                          : ring.name;
+    emit("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %d, \"tid\": %zu, "
+         "\"args\": {\"name\": \"%s\"}}",
+         kPid, ring.tid, escape(tname).c_str());
+
+    // Spans are recorded at scope exit (end order); B/E emission needs begin
+    // order with an explicit close stack. RAII guarantees spans on one
+    // thread properly nest, so sorting by (begin, end desc) and popping
+    // every open span that ends before the next begin yields matched,
+    // monotonic, correctly nested B/E pairs. Counters/instants interleave
+    // by their own timestamps independently (no pairing constraints).
+    std::vector<const TraceEvent*> spans;
+    spans.reserve(ring.events.size());
+    for (const TraceEvent& e : ring.events) {
+      if (e.kind == EventKind::kSpan) spans.push_back(&e);
+    }
+    std::stable_sort(spans.begin(), spans.end(), [](const TraceEvent* a, const TraceEvent* b) {
+      if (a->begin_ns != b->begin_ns) return a->begin_ns < b->begin_ns;
+      return a->end_ns > b->end_ns;
+    });
+    std::vector<const TraceEvent*> open;
+    const auto close_until = [&](std::uint64_t t) {
+      while (!open.empty() && open.back()->end_ns <= t) {
+        const TraceEvent* e = open.back();
+        open.pop_back();
+        emit("{\"name\": \"%s\", \"ph\": \"E\", \"ts\": %.3f, \"pid\": %d, \"tid\": %zu}",
+             e->name, ts_us(e->end_ns), kPid, ring.tid);
+        ++written;
+      }
+    };
+    for (const TraceEvent* e : spans) {
+      close_until(e->begin_ns);
+      emit("{\"name\": \"%s\", \"ph\": \"B\", \"ts\": %.3f, \"pid\": %d, \"tid\": %zu}",
+           e->name, ts_us(e->begin_ns), kPid, ring.tid);
+      ++written;
+      open.push_back(e);
+    }
+    close_until(UINT64_MAX);
+
+    for (const TraceEvent& e : ring.events) {
+      if (e.kind == EventKind::kAsyncSpan) {
+        // Async intervals overlap freely; the unique id keeps each pair
+        // matched without any nesting constraint.
+        emit("{\"name\": \"%s\", \"cat\": \"gstg\", \"ph\": \"b\", \"id\": %llu, "
+             "\"ts\": %.3f, \"pid\": %d, \"tid\": %zu}",
+             e.name, static_cast<unsigned long long>(async_id), ts_us(e.begin_ns), kPid,
+             ring.tid);
+        emit("{\"name\": \"%s\", \"cat\": \"gstg\", \"ph\": \"e\", \"id\": %llu, "
+             "\"ts\": %.3f, \"pid\": %d, \"tid\": %zu}",
+             e.name, static_cast<unsigned long long>(async_id), ts_us(e.end_ns), kPid,
+             ring.tid);
+        ++async_id;
+        written += 2;
+      } else if (e.kind == EventKind::kCounter) {
+        emit("{\"name\": \"%s\", \"ph\": \"C\", \"ts\": %.3f, \"pid\": %d, \"tid\": %zu, "
+             "\"args\": {\"value\": %.6g}}",
+             e.name, ts_us(e.begin_ns), kPid, ring.tid, e.value);
+        ++written;
+      } else if (e.kind == EventKind::kInstant) {
+        emit("{\"name\": \"%s\", \"ph\": \"i\", \"ts\": %.3f, \"pid\": %d, \"tid\": %zu, "
+             "\"s\": \"t\"}",
+             e.name, ts_us(e.begin_ns), kPid, ring.tid);
+        ++written;
+      }
+    }
+  }
+  std::fprintf(file,
+               "\n], \"otherData\": {\"dropped_events\": %llu, \"threads\": %zu}}\n",
+               static_cast<unsigned long long>(dropped_total), rings.size());
+  std::fclose(file);
+  return written;
+}
+
+std::size_t TraceSession::stop_and_write() {
+  stop();
+  if (options_.path.empty()) return 0;
+  return write(options_.path);
+}
+
+namespace {
+void write_env_trace_at_exit() {
+  TraceSession& session = TraceSession::global();
+  try {
+    session.stop_and_write();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "telemetry: %s\n", e.what());
+  }
+}
+}  // namespace
+
+bool ensure_started_from_env() {
+  static const bool started = [] {
+    const char* path = std::getenv("GSTG_TRACE");
+    if (path == nullptr || *path == '\0') return false;
+    TraceOptions options;
+    options.path = path;
+    TraceSession::global().start(options);
+    std::atexit(write_env_trace_at_exit);
+    return true;
+  }();
+  return started;
+}
+
+void ensure_collecting() {
+  if (ensure_started_from_env()) return;  // GSTG_TRACE wins: it also names the output
+  if (!TraceSession::global().active()) TraceSession::global().start();
+}
+
+}  // namespace gstg::telemetry

@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "common/timer.h"
+#include "telemetry/trace.h"
 
 namespace gstg {
 
@@ -34,6 +35,8 @@ TemporalRenderer::TemporalRenderer(const GsTgConfig& config) : config_(config) {
   config_.binning = binning_mode_from_env(config.binning);
   config_.pipeline = pipeline_mode_from_env(config.pipeline);
   config_.validate();
+  telemetry::ensure_started_from_env();
+  if (config_.trace) telemetry::ensure_collecting();
 }
 
 void TemporalRenderer::invalidate() {
@@ -44,25 +47,35 @@ void TemporalRenderer::invalidate() {
 
 void TemporalRenderer::render(const GaussianCloud& cloud, const Camera& camera,
                               FrameContext& ctx) {
+  GSTG_SPAN("frame");
   ctx.times = {};
   ctx.counters = {};
   ctx.quality = {};
   Timer timer;
 
-  // The non-sort stages are exactly the persistent renderer's: same
-  // functions, same scratch reuse, same counters.
-  preprocess_into(cloud, camera, config_.render_config(), ctx.counters, ctx.splats,
-                  ctx.preprocess);
+  {
+    // The non-sort stages are exactly the persistent renderer's: same
+    // functions, same scratch reuse, same counters.
+    GSTG_SPAN("preprocess");
+    preprocess_into(cloud, camera, config_.render_config(), ctx.counters, ctx.splats,
+                    ctx.preprocess);
+  }
   ctx.frame.config = config_;
   ctx.frame.tile_grid = CellGrid::over_image(camera.width(), camera.height(), config_.tile_size);
   ctx.frame.group_grid =
       CellGrid::over_image(camera.width(), camera.height(), config_.group_size);
-  bin_splats_into(ctx.splats, ctx.frame.group_grid, config_.group_boundary, config_.threads,
-                  ctx.counters, ctx.frame.group_bins, ctx.binning, config_.binning);
+  {
+    GSTG_SPAN("binning");
+    bin_splats_into(ctx.splats, ctx.frame.group_grid, config_.group_boundary, config_.threads,
+                    ctx.counters, ctx.frame.group_bins, ctx.binning, config_.binning);
+  }
   ctx.times.preprocess_ms = timer.lap_ms();
 
-  generate_bitmasks_into(ctx.splats, ctx.frame.group_bins, ctx.frame.tile_grid, config_,
-                         ctx.counters, ctx.frame.masks);
+  {
+    GSTG_SPAN("bitmask");
+    generate_bitmasks_into(ctx.splats, ctx.frame.group_bins, ctx.frame.tile_grid, config_,
+                           ctx.counters, ctx.frame.masks);
+  }
   ctx.times.bitmask_ms = timer.lap_ms();
 
   if (config_.pipeline != PipelineMode::kExact) {
@@ -80,17 +93,24 @@ void TemporalRenderer::render(const GaussianCloud& cloud, const Camera& camera,
   // valid, sort the rest; then snapshot the (now sorted) lists for the next
   // frame.
   last_ = {};
-  temporal_sort(ctx.splats, ctx);
+  {
+    GSTG_SPAN("temporal_sort");
+    temporal_sort(ctx.splats, ctx);
+  }
   if (config_.temporal != TemporalMode::kOff) {
+    GSTG_SPAN("snapshot_cache");
     snapshot_cache(ctx.frame, ctx.splats, cloud.size());
   }
   last_.frames = 1;
   total_.merge(last_);
   ctx.times.sort_ms = timer.lap_ms();
 
-  ctx.image.resize(camera.width(), camera.height());
-  rasterize_grouped(ctx.frame, ctx.splats, ctx.image, config_.threads, ctx.counters,
-                    &ctx.raster);
+  {
+    GSTG_SPAN("raster");
+    ctx.image.resize(camera.width(), camera.height());
+    rasterize_grouped(ctx.frame, ctx.splats, ctx.image, config_.threads, ctx.counters,
+                      &ctx.raster);
+  }
   ctx.times.raster_ms = timer.lap_ms();
 }
 
@@ -137,6 +157,7 @@ void TemporalRenderer::temporal_sort(std::span<const ProjectedSplat> splats, Fra
   prepare_scratch(scratch_, workers, cloud_size);
 
   parallel_for_chunks(0, groups, [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+    GSTG_SPAN("temporal_cache_walk");
     TemporalScratch::Worker& ws = scratch_.workers[worker];
     for (std::size_t g = lo; g < hi; ++g) {
       const std::uint32_t begin = bins.offsets[g];

@@ -96,5 +96,96 @@ TEST(Histogram, RejectsDegenerateRange) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
 }
 
+// --- Percentiles (the shared helper render_server / bench_service use) ----
+
+TEST(Percentile, NearestRankKnownValues) {
+  const std::vector<double> sorted = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.5), 30.0);   // rank ceil(2.5)=3
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.95), 50.0);  // rank ceil(4.75)=5
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 1.0), 50.0);
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 0.99), 42.0);
+}
+
+TEST(Percentile, UnsortedOverloadSortsFirst) {
+  EXPECT_DOUBLE_EQ(percentile({30.0, 10.0, 50.0, 20.0, 40.0}, 0.5), 30.0);
+}
+
+TEST(Percentile, RejectsInvalidInput) {
+  EXPECT_THROW(percentile_sorted({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(percentile_sorted({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(percentile_sorted({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(Percentile, SummaryMatchesIndividualCalls) {
+  std::vector<double> values;
+  for (int i = 100; i >= 1; --i) values.push_back(static_cast<double>(i));
+  const PercentileSummary s = summarize_percentiles(values);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+}
+
+// --- LatencyHistogram (log-bucketed, backs the metrics registry) ----------
+
+TEST(LatencyHistogram, QuantilesWithinBucketError) {
+  LatencyHistogram h;  // lo=1e-3 ms, 5% growth
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i) * 0.1);  // 0.1..100 ms
+  EXPECT_EQ(h.total(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.1);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.mean(), 50.05, 1e-9);
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 50.0 * 0.05);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 99.0 * 0.05);
+  // The quantile never exceeds the observed maximum even when the bucket's
+  // upper edge does.
+  EXPECT_LE(h.quantile(1.0), h.max());
+}
+
+TEST(LatencyHistogram, EmptyAndOutOfRange) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  // Below lo lands in bucket 0; far above the top clamps into the last.
+  h.add(1e-9);
+  h.add(1e9);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(h.bucket_count() - 1), 1u);
+}
+
+TEST(LatencyHistogram, MergeMatchesSequentialAndChecksLayout) {
+  LatencyHistogram whole, part1, part2;
+  for (int i = 1; i <= 200; ++i) {
+    const double x = static_cast<double>(i);
+    whole.add(x);
+    (i <= 80 ? part1 : part2).add(x);
+  }
+  part1.merge(part2);
+  EXPECT_EQ(part1.total(), whole.total());
+  EXPECT_DOUBLE_EQ(part1.min(), whole.min());
+  EXPECT_DOUBLE_EQ(part1.max(), whole.max());
+  EXPECT_DOUBLE_EQ(part1.quantile(0.5), whole.quantile(0.5));
+
+  LatencyHistogram different(0.5, 2.0, 16);
+  different.add(1.0);  // merge ignores an empty source, so give it a sample
+  EXPECT_THROW(part1.merge(different), std::invalid_argument);
+}
+
+TEST(LatencyHistogram, RejectsDegenerateLayout) {
+  EXPECT_THROW(LatencyHistogram(0.0, 1.05, 10), std::invalid_argument);
+  EXPECT_THROW(LatencyHistogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(LatencyHistogram(1.0, 1.05, 0), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace gstg

@@ -1,0 +1,96 @@
+// MetricsRegistry (telemetry/metrics.h): counters, log-bucketed latency
+// histograms, bounded gauge series, and the JSON snapshot shape.
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gstg::telemetry {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::global().reset(); }
+  void TearDown() override { MetricsRegistry::global().reset(); }
+};
+
+TEST_F(MetricsTest, CountersAccumulateAndDefaultToZero) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  EXPECT_EQ(m.counter("never.recorded"), 0u);
+  m.add_counter("requests");
+  m.add_counter("requests", 4);
+  EXPECT_EQ(m.counter("requests"), 5u);
+}
+
+TEST_F(MetricsTest, LatencyHistogramRecordsQuantiles) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  for (int i = 1; i <= 100; ++i) m.record_latency("render_ms", static_cast<double>(i));
+
+  const LatencyHistogram hist = m.latency("render_ms");
+  EXPECT_EQ(hist.total(), 100u);
+  EXPECT_DOUBLE_EQ(hist.min(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 100.0);
+  EXPECT_NEAR(hist.mean(), 50.5, 1e-9);
+  // Log-bucketed with 5% growth: quantiles land within one bucket (<=5%
+  // relative) of the exact rank values.
+  EXPECT_NEAR(hist.quantile(0.50), 50.0, 50.0 * 0.05);
+  EXPECT_NEAR(hist.quantile(0.95), 95.0, 95.0 * 0.05);
+  EXPECT_NEAR(hist.quantile(0.99), 99.0, 99.0 * 0.05);
+  // Unknown name: empty histogram, not a throw.
+  EXPECT_EQ(m.latency("never.recorded").total(), 0u);
+}
+
+TEST_F(MetricsTest, GaugeSeriesIsBoundedDropOldest) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  const std::size_t n = MetricsRegistry::kGaugeCapacity + 100;
+  for (std::size_t i = 0; i < n; ++i) m.sample_gauge("depth", static_cast<double>(i));
+
+  const std::vector<GaugeSample> series = m.gauge("depth");
+  ASSERT_EQ(series.size(), MetricsRegistry::kGaugeCapacity);
+  // Oldest 100 samples were dropped; order is preserved.
+  EXPECT_DOUBLE_EQ(series.front().value, 100.0);
+  EXPECT_DOUBLE_EQ(series.back().value, static_cast<double>(n - 1));
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].t_ns, series[i - 1].t_ns);
+    EXPECT_DOUBLE_EQ(series[i].value, series[i - 1].value + 1.0);
+  }
+}
+
+TEST_F(MetricsTest, SnapshotJsonCoversAllThreeKinds) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.add_counter("snap.requests", 7);
+  m.record_latency("snap.latency_ms", 12.5);
+  m.sample_gauge("snap.depth", 3.0);
+
+  const std::string json = m.snapshot_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"snap.requests\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"snap.latency_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"snap.depth\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, SnapshotIsDeterministicallyOrdered) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.add_counter("zebra");
+  m.add_counter("alpha");
+  const std::string json = m.snapshot_json();
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zebra\""));
+}
+
+TEST_F(MetricsTest, ResetDropsEverything) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.add_counter("gone");
+  m.record_latency("gone_ms", 1.0);
+  m.sample_gauge("gone_depth", 1.0);
+  m.reset();
+  EXPECT_EQ(m.counter("gone"), 0u);
+  EXPECT_EQ(m.latency("gone_ms").total(), 0u);
+  EXPECT_TRUE(m.gauge("gone_depth").empty());
+}
+
+}  // namespace
+}  // namespace gstg::telemetry

@@ -1,0 +1,174 @@
+// Trace collector contract (telemetry/trace.h): bounded rings drop-and-count
+// on overflow (never block, never grow mid-session), disabled emission is a
+// no-op, and the exported Chrome trace JSON has matched B/E pairs and the
+// session's metadata.
+#include "telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace gstg::telemetry {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::string::size_type at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Trace, DisabledEmissionIsNoop) {
+  TraceSession& session = TraceSession::global();
+  session.stop();
+  ASSERT_FALSE(enabled());
+
+  const TraceStats before = session.stats();
+  emit_span("ignored", 0, 10);
+  emit_async_span("ignored", 0, 10);
+  emit_counter("ignored", 1.0);
+  emit_instant("ignored");
+  { GSTG_SPAN("ignored_scope"); }
+  const TraceStats after = session.stats();
+  EXPECT_EQ(before.recorded, after.recorded);
+  EXPECT_EQ(before.dropped, after.dropped);
+}
+
+TEST(Trace, RecordsSpansCountersInstants) {
+  TraceSession& session = TraceSession::global();
+  session.start();
+  {
+    GSTG_SPAN("outer");
+    { GSTG_SPAN("inner"); }
+  }
+  emit_counter("depth", 3.0);
+  emit_instant("marker");
+  session.stop();
+
+  const TraceStats stats = session.stats();
+  EXPECT_EQ(stats.recorded, 4u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_GE(stats.threads, 1u);
+}
+
+TEST(Trace, OverflowDropsAndCounts) {
+  TraceOptions options;
+  options.ring_capacity = 16;
+  TraceSession& session = TraceSession::global();
+  session.start(options);
+  for (int i = 0; i < 100; ++i) {
+    emit_span("s", static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(i + 1));
+  }
+  session.stop();
+
+  const TraceStats stats = session.stats();
+  EXPECT_EQ(stats.recorded, 16u);
+  EXPECT_EQ(stats.dropped, 84u);
+
+  // A restart clears both the events and the drop count.
+  session.start(options);
+  session.stop();
+  const TraceStats cleared = session.stats();
+  EXPECT_EQ(cleared.recorded, 0u);
+  EXPECT_EQ(cleared.dropped, 0u);
+}
+
+TEST(Trace, NowNsIsMonotonic) {
+  std::uint64_t last = now_ns();
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t t = now_ns();
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+TEST(Trace, WriteEmitsMatchedPairsAndMetadata) {
+  const std::string path = ::testing::TempDir() + "gstg_trace_test.json";
+  TraceOptions options;
+  options.process_name = "trace-test";
+  TraceSession& session = TraceSession::global();
+  session.start(options);
+  set_thread_name("tester");
+  {
+    GSTG_SPAN("frame");
+    { GSTG_SPAN("preprocess"); }
+    { GSTG_SPAN("sort_groups"); }
+  }
+  emit_counter("queue_depth", 2.0);
+  emit_instant("frame_end");
+  session.stop();
+
+  const std::size_t written = session.write(path);
+  EXPECT_EQ(written, 8u);  // 3 spans x B+E, one C, one i
+
+  const std::string json = read_file(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"B\""), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"E\""), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"C\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"i\""), 1u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("trace-test"), std::string::npos);
+  EXPECT_NE(json.find("tester"), std::string::npos);
+  // The nested B/E stream must open the outer span before the inner ones.
+  EXPECT_LT(json.find("\"name\": \"frame\", \"ph\": \"B\""),
+            json.find("\"name\": \"preprocess\", \"ph\": \"B\""));
+}
+
+TEST(Trace, AsyncSpansExportAsMatchedPairsWithUniqueIds) {
+  const std::string path = ::testing::TempDir() + "gstg_trace_async_test.json";
+  TraceSession& session = TraceSession::global();
+  session.start();
+  // Two overlapping waits plus a scoped span between their endpoints — the
+  // shape that breaks B/E nesting and motivated the async kind.
+  const std::uint64_t t0 = now_ns();
+  { GSTG_SPAN("render"); }
+  const std::uint64_t t1 = now_ns();
+  emit_async_span("queue_wait", t0, t1);
+  emit_async_span("queue_wait", t0, now_ns());
+  emit_async_span("clamped", t1, t1 - 1);  // end before begin clamps to zero length
+  session.stop();
+
+  const std::size_t written = session.write(path);
+  EXPECT_EQ(written, 8u);  // 1 span x B+E, 3 async x b+e
+
+  const std::string json = read_file(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"b\""), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"e\""), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"cat\": \"gstg\""), 6u);
+  // Each pair gets its own id so Chrome/Perfetto can match overlapping
+  // same-name intervals.
+  EXPECT_EQ(count_occurrences(json, "\"id\": 0,"), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"id\": 1,"), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"id\": 2,"), 2u);
+}
+
+TEST(Trace, WriteToUnopenablePathThrows) {
+  TraceSession& session = TraceSession::global();
+  session.start();
+  session.stop();
+  EXPECT_THROW(session.write("/nonexistent-dir-gstg/trace.json"), std::runtime_error);
+}
+
+TEST(Trace, StopAndWriteWithoutPathIsNoop) {
+  TraceSession& session = TraceSession::global();
+  session.start();  // default options: no path
+  { GSTG_SPAN("s"); }
+  EXPECT_EQ(session.stop_and_write(), 0u);
+}
+
+}  // namespace
+}  // namespace gstg::telemetry

@@ -1,0 +1,81 @@
+// Telemetry is observational: RenderCounters and the framebuffer must be
+// bit-identical with tracing on vs. off, in exact mode and across the
+// multi-threaded path. This is the invariant that makes it safe to leave
+// GSTG_SPAN instrumentation in every pipeline stage.
+#include "core/renderer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "telemetry/trace.h"
+#include "test_helpers.h"
+
+namespace gstg {
+namespace {
+
+using testutil::make_camera;
+using testutil::make_random_cloud;
+
+bool images_identical(const Framebuffer& a, const Framebuffer& b) {
+  return a.width() == b.width() && a.height() == b.height() && max_abs_diff(a, b) == 0.0f;
+}
+
+bool counters_equal(const RenderCounters& a, const RenderCounters& b) {
+  return a.visible_gaussians == b.visible_gaussians && a.tile_pairs == b.tile_pairs &&
+         a.sort_pairs == b.sort_pairs && a.bitmask_tests == b.bitmask_tests &&
+         a.filter_checks == b.filter_checks && a.alpha_computations == b.alpha_computations &&
+         a.blend_ops == b.blend_ops && a.total_pixels == b.total_pixels;
+}
+
+void expect_tracing_invisible(const GsTgConfig& config) {
+  const GaussianCloud cloud = make_random_cloud(900, 21);
+  const Camera camera = make_camera();
+
+  telemetry::TraceSession::global().stop();
+  const RenderResult off = render_gstg(cloud, camera, config);
+
+  telemetry::TraceSession::global().start();
+  const RenderResult on = render_gstg(cloud, camera, config);
+  telemetry::TraceSession::global().stop();
+
+  EXPECT_TRUE(images_identical(off.image, on.image)) << "framebuffer diverged under tracing";
+  EXPECT_TRUE(counters_equal(off.counters, on.counters)) << "counters diverged under tracing";
+}
+
+TEST(TraceDeterminism, ExactModeBitIdenticalTracingOnVsOff) {
+  GsTgConfig config;
+  config.threads = 1;
+  expect_tracing_invisible(config);
+}
+
+TEST(TraceDeterminism, MultiThreadedBitIdenticalTracingOnVsOff) {
+  GsTgConfig config;
+  config.threads = 4;
+  expect_tracing_invisible(config);
+}
+
+TEST(TraceDeterminism, ConfigTraceFlagLeavesOutputBitIdentical) {
+  const GaussianCloud cloud = make_random_cloud(600, 5);
+  const Camera camera = make_camera();
+
+  telemetry::TraceSession::global().stop();
+  GsTgConfig plain;
+  plain.threads = 2;
+  const RenderResult reference = render_gstg(cloud, camera, plain);
+
+  GsTgConfig traced = plain;
+  traced.trace = true;  // Renderer ctor starts the global session
+  const Renderer renderer(traced);
+  FrameContext ctx;
+  renderer.render(cloud, camera, ctx);
+  EXPECT_TRUE(telemetry::TraceSession::global().active());
+  telemetry::TraceSession::global().stop();
+
+  EXPECT_TRUE(images_identical(reference.image, ctx.image));
+  EXPECT_TRUE(counters_equal(reference.counters, ctx.counters));
+  EXPECT_GT(telemetry::TraceSession::global().stats().recorded, 0u)
+      << "config.trace produced no spans";
+}
+
+}  // namespace
+}  // namespace gstg
