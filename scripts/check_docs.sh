@@ -7,6 +7,10 @@
 #      so the config reference cannot silently rot.
 #   3. Every GSTG_* environment variable parsed in common/runconfig.cpp has
 #      a row in docs/CONFIG.md, so new env knobs cannot ship undocumented.
+#   4. No rendered image output (*.ppm) is tracked by git — PPMs are build
+#      products (quickstart, bench quality diffs) and belong in .gitignore.
+#   5. Every lint rule ID in tools/lint/gstg_lint.py has a matching section
+#      in docs/ARCHITECTURE.md, so the invariant catalogue cannot rot.
 set -u
 
 cd "$(dirname "$0")/.." || exit 1
@@ -78,8 +82,32 @@ for var in $env_vars; do
   fi
 done
 
+# --- 4. no tracked *.ppm build products ----------------------------------
+if command -v git >/dev/null 2>&1 && git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  tracked_ppm=$(git ls-files -- '*.ppm')
+  if [ -n "$tracked_ppm" ]; then
+    echo "TRACKED BUILD PRODUCT: $tracked_ppm (PPM images are outputs; git rm them)"
+    fail=1
+  fi
+fi
+
+# --- 5. ARCHITECTURE.md documents every lint rule ------------------------
+if [ -f tools/lint/gstg_lint.py ]; then
+  rule_ids=$(grep -oE '^\s+"R[0-9]+":' tools/lint/gstg_lint.py | grep -oE 'R[0-9]+' | sort -u)
+  if [ -z "$rule_ids" ]; then
+    echo "NO LINT RULES FOUND in tools/lint/gstg_lint.py (check_docs.sh pattern broke?)"
+    fail=1
+  fi
+  for rule in $rule_ids; do
+    if ! grep -qE "\b$rule\b" docs/ARCHITECTURE.md; then
+      echo "UNDOCUMENTED LINT RULE: $rule missing from docs/ARCHITECTURE.md"
+      fail=1
+    fi
+  done
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"
   exit 1
 fi
-echo "check_docs: OK (links resolve, config fields documented)"
+echo "check_docs: OK (links resolve, config fields + lint rules documented, no tracked PPMs)"

@@ -1,0 +1,24 @@
+// Source-level annotations consumed by the project linter
+// (tools/lint/gstg_lint.py) and, under clang, attached to the AST so
+// libclang-based tooling can find annotated functions without name lists.
+//
+// GSTG_HOT_NOALLOC marks a function as part of the steady-state render hot
+// path: once the per-frame scratch is warmed, no call reachable from it may
+// allocate. "Allocate" means unconditional heap traffic — new/make_unique/
+// make_shared, malloc-family calls, constructing an owning container or
+// std::function, std::to_string — not capacity-bounded operations on
+// caller-owned scratch (resize/assign/push_back into warmed vectors are the
+// codebase's standard amortised-zero idiom and are explicitly allowed; see
+// docs/ARCHITECTURE.md "Static analysis & lint"). Cold paths reachable only
+// through `throw` are exempt: error reporting may build messages.
+//
+// Lint rule R1 walks the call graph from every GSTG_HOT_NOALLOC function
+// and reports violations at analysis time; the runtime counterpart is the
+// steady-state allocation tests under tests/core/.
+#pragma once
+
+#if defined(__clang__)
+#define GSTG_HOT_NOALLOC __attribute__((annotate("gstg::hot_noalloc")))
+#else
+#define GSTG_HOT_NOALLOC
+#endif

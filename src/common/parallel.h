@@ -40,6 +40,9 @@ inline std::size_t planned_worker_count(std::size_t n, std::size_t threads = 0) 
 /// worker is requested — a template over the callable so the single-worker
 /// path performs no allocation (no std::function boxing). Worker indices
 /// are dense in [0, planned_worker_count(end - begin, threads)).
+// gstg-lint: boundary(R1): the thread pool below is the multi-worker parallel
+// region's setup cost; the single-worker hot path returns before it and runs
+// fn inline without allocating.
 template <typename Fn>
 void parallel_for_chunks(std::size_t begin, std::size_t end, const Fn& fn,
                          std::size_t threads = 0) {

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -10,7 +11,7 @@
 namespace gstg {
 
 RunScale run_scale_from_env() {
-  const char* env = std::getenv("GSTG_SCALE");
+  const char* env = std::getenv("GSTG_SCALE");  // NOLINT(concurrency-mt-unsafe): read once before worker threads exist
   const std::string value = env ? env : "bench";
   if (value == "full") {
     return RunScale{.resolution_divisor = 1, .gaussian_divisor = 1};
@@ -22,7 +23,7 @@ RunScale run_scale_from_env() {
 }
 
 TemporalMode temporal_mode_from_env(TemporalMode fallback) {
-  const char* env = std::getenv("GSTG_TEMPORAL");
+  const char* env = std::getenv("GSTG_TEMPORAL");  // NOLINT(concurrency-mt-unsafe): read once before worker threads exist
   if (env == nullptr) return fallback;
   const std::string value = env;
   if (value == "off") return TemporalMode::kOff;
@@ -52,7 +53,7 @@ const char* to_string(TemporalMode mode) {
 }
 
 BinningMode binning_mode_from_env(BinningMode fallback) {
-  const char* env = std::getenv("GSTG_BINNING");
+  const char* env = std::getenv("GSTG_BINNING");  // NOLINT(concurrency-mt-unsafe): read once before worker threads exist
   if (env == nullptr) return fallback;
   const std::string value = env;
   if (value == "flat") return BinningMode::kFlat;
@@ -85,7 +86,7 @@ const char* to_string(BinningMode mode) {
 }
 
 ResidencyMode residency_mode_from_env(ResidencyMode fallback) {
-  const char* env = std::getenv("GSTG_RESIDENCY");
+  const char* env = std::getenv("GSTG_RESIDENCY");  // NOLINT(concurrency-mt-unsafe): read once before worker threads exist
   if (env == nullptr) return fallback;
   const std::string value = env;
   if (value == "float32") return ResidencyMode::kFloat32;
@@ -115,7 +116,7 @@ const char* to_string(ResidencyMode mode) {
 }
 
 PipelineMode pipeline_mode_from_env(PipelineMode fallback) {
-  const char* env = std::getenv("GSTG_PIPELINE");
+  const char* env = std::getenv("GSTG_PIPELINE");  // NOLINT(concurrency-mt-unsafe): read once before worker threads exist
   if (env == nullptr) return fallback;
   const std::string value = env;
   if (value == "exact") return PipelineMode::kExact;
@@ -145,22 +146,23 @@ const char* to_string(PipelineMode mode) {
 }
 
 std::size_t env_positive_size(const char* name, std::size_t fallback) {
-  const char* env = std::getenv(name);
+  const char* env = std::getenv(name);  // NOLINT(concurrency-mt-unsafe): read once before worker threads exist
   if (env == nullptr) return fallback;
   // std::from_chars is the strict parser here on purpose: unlike strtol
   // with a null end pointer it accepts no leading whitespace, no '+', no
   // trailing garbage — "8garbage" and " 8" are both rejected, and the end
-  // pointer check catches a partially-consumed value.
-  const std::string value = env;
+  // pointer check catches a partially-consumed value. Parsing works on the
+  // environment's own buffer: this runs inside worker-count resolution on
+  // render paths, which must not allocate (lint rule R1).
   std::size_t parsed = 0;
-  const char* begin = value.data();
-  const char* end = begin + value.size();
+  const char* begin = env;
+  const char* end = env + std::strlen(env);
   const auto [ptr, ec] = std::from_chars(begin, end, parsed);
   if (ec == std::errc::result_out_of_range) {
-    throw std::invalid_argument(std::string(name) + ": value out of range '" + value + "'");
+    throw std::invalid_argument(std::string(name) + ": value out of range '" + env + "'");
   }
   if (ec != std::errc() || ptr != end || parsed == 0) {
-    throw std::invalid_argument(std::string(name) + ": invalid value '" + value +
+    throw std::invalid_argument(std::string(name) + ": invalid value '" + std::string(env) +
                                 "' (expected a positive integer)");
   }
   return parsed;

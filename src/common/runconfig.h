@@ -12,6 +12,28 @@
 
 namespace gstg {
 
+/// Central registry of every GSTG_* environment variable the project reads.
+/// A "GSTG_*" string literal anywhere in src/ must appear here AND in the
+/// environment-variable table of docs/CONFIG.md — lint rule R4
+/// (tools/lint/gstg_lint.py) enforces both, so a new knob cannot ship
+/// undocumented or unregistered. Keep the list sorted.
+inline constexpr const char* kGstgEnvVars[] = {
+    "GSTG_BINNING",           // binning_mode_from_env (flat/hierarchical/auto/verify)
+    "GSTG_METRICS",           // telemetry: metrics JSON written at process exit
+    "GSTG_PIPELINE",          // pipeline_mode_from_env (exact/sortless/verify)
+    "GSTG_RESIDENCY",         // residency_mode_from_env (float32/compressed/verify)
+    "GSTG_SCALE",             // run_scale_from_env (bench/small/full)
+    "GSTG_SERVICE_BATCH",     // render service: max batched requests per worker wake
+    "GSTG_SERVICE_QUEUE",     // render service: bounded queue capacity
+    "GSTG_SERVICE_SCENES",    // render service: scene cache capacity
+    "GSTG_SERVICE_SESSIONS",  // render service: per-session renderer cache capacity
+    "GSTG_SERVICE_WORKERS",   // render service: worker thread count
+    "GSTG_SIMD",              // SIMD backend override (scalar/sse4/avx2/...)
+    "GSTG_TEMPORAL",          // temporal_mode_from_env (off/reuse/verify)
+    "GSTG_THREADS",           // worker_thread_count override
+    "GSTG_TRACE",             // telemetry: trace JSON written at process exit
+};
+
 /// Workload scaling applied by the scene recipes.
 struct RunScale {
   /// Linear resolution divisor (1 = paper resolution, 4 = 1/4 width & height).

@@ -26,19 +26,20 @@ const char* to_string(SimdBackend backend) {
 }
 
 SimdBackend simd_backend_from_string(const char* name) {
-  if (name == nullptr) return SimdBackend::kAuto;
-  const std::string s = name;
-  if (s == "auto" || s.empty()) return SimdBackend::kAuto;
-  if (s == "scalar") return SimdBackend::kScalar;
-  if (s == "sse4") return SimdBackend::kSse4;
-  if (s == "avx2") return SimdBackend::kAvx2;
-  if (s == "neon") return SimdBackend::kNeon;
-  throw std::invalid_argument("unknown SIMD backend name: " + s +
+  // strcmp instead of a std::string temporary: backend resolution sits on
+  // the render-kernel selection path, which must not allocate (lint R1).
+  if (name == nullptr || *name == '\0') return SimdBackend::kAuto;
+  if (std::strcmp(name, "auto") == 0) return SimdBackend::kAuto;
+  if (std::strcmp(name, "scalar") == 0) return SimdBackend::kScalar;
+  if (std::strcmp(name, "sse4") == 0) return SimdBackend::kSse4;
+  if (std::strcmp(name, "avx2") == 0) return SimdBackend::kAvx2;
+  if (std::strcmp(name, "neon") == 0) return SimdBackend::kNeon;
+  throw std::invalid_argument(std::string("unknown SIMD backend name: ") + name +
                               " (expected auto|scalar|sse4|avx2|neon)");
 }
 
 SimdBackend simd_backend_from_env() {
-  const char* env = std::getenv("GSTG_SIMD");
+  const char* env = std::getenv("GSTG_SIMD");  // NOLINT(concurrency-mt-unsafe): read once before worker threads exist
   if (env == nullptr) return SimdBackend::kAuto;
   try {
     return simd_backend_from_string(env);

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.h"
 #include "core/gstg_config.h"
 #include "render/binning.h"
 #include "render/framebuffer.h"
@@ -46,6 +47,7 @@ std::vector<TileMask> generate_bitmasks(std::span<const ProjectedSplat> splats,
                                         RenderCounters& counters);
 
 /// generate_bitmasks() into a caller-owned mask vector (resized in place).
+GSTG_HOT_NOALLOC
 void generate_bitmasks_into(std::span<const ProjectedSplat> splats,
                             const BinnedSplats& group_bins, const CellGrid& tile_grid,
                             const GsTgConfig& config, RenderCounters& counters,
@@ -57,6 +59,7 @@ void generate_bitmasks_into(std::span<const ProjectedSplat> splats,
 /// or packed-key radix sorting per group (identical orderings; see
 /// render/sort_keys.h) and `scratch` reuses one SortScratch across frames
 /// (nullptr = self-contained call).
+GSTG_HOT_NOALLOC
 void sort_groups(BinnedSplats& group_bins, std::vector<TileMask>& masks,
                  std::span<const ProjectedSplat> splats, std::size_t threads,
                  RenderCounters& counters, SortAlgo algo = SortAlgo::kAuto,
@@ -69,6 +72,7 @@ void sort_groups(BinnedSplats& group_bins, std::vector<TileMask>& masks,
 /// ws.pairs / ws.volume exactly as sort_groups always has (pairs for every
 /// entry, volume only when n >= 2). `key_bits`/`index_bits` come from
 /// depth_index_key_bits over the frame's maximum splat index.
+GSTG_HOT_NOALLOC
 void sort_group_entries(std::uint32_t* ids, TileMask* masks, std::size_t n,
                         std::span<const ProjectedSplat> splats, SortAlgo algo, int key_bits,
                         int index_bits, SortWorkerScratch& ws);
@@ -90,6 +94,7 @@ struct RasterScratch {
 /// shared tile rasterizer. Updates counters.filter_checks plus the usual
 /// rasterization counters. `scratch` reuses per-worker buffers across
 /// frames (nullptr = self-contained call).
+GSTG_HOT_NOALLOC
 void rasterize_grouped(const GroupedFrame& frame, std::span<const ProjectedSplat> splats,
                        Framebuffer& fb, std::size_t threads, RenderCounters& counters,
                        RasterScratch* scratch = nullptr);
@@ -100,6 +105,7 @@ void rasterize_grouped(const GroupedFrame& frame, std::span<const ProjectedSplat
 /// pipelines (common/runconfig.h). The blended image is bit-identical
 /// regardless of entry order, so it does not matter whether the frame's
 /// bins are raw (kSortless) or happen to be sorted (the kVerify audit).
+GSTG_HOT_NOALLOC
 void rasterize_grouped_sortless(const GroupedFrame& frame,
                                 std::span<const ProjectedSplat> splats, Framebuffer& fb,
                                 std::size_t threads, RenderCounters& counters,

@@ -7,21 +7,11 @@
 #include <stdexcept>
 
 #include "common/parallel.h"
+#include "geometry/clamped_cast.h"
 
 namespace gstg {
 
 namespace {
-
-/// floor(v / cell_size) + bias, clamped into [0, cells] in the float
-/// domain. The float→int cast is UB outside int's range and a degenerate
-/// conic (huge rho) produces AABB coordinates far outside it, so the clamp
-/// must happen before the cast. NaN fails every comparison and lands on 0.
-int clamped_cell_floor(float v, float cell_size, int cells, int bias) {
-  const float c = std::floor(v / cell_size) + static_cast<float>(bias);
-  if (!(c > 0.0f)) return 0;
-  if (c >= static_cast<float>(cells)) return cells;
-  return static_cast<int>(c);
-}
 
 /// Candidate range of an AABB, clipped to the grid. Any NaN coordinate
 /// makes the validity comparison fail and yields the empty range; an

@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/runconfig.h"
 #include "render/types.h"
 
@@ -157,6 +158,7 @@ BinnedSplats bin_splats(std::span<const ProjectedSplat> splats, const CellGrid& 
 /// vectors are resized in place; in the steady state (same grid, same pair
 /// count) no allocation happens. kVerify additionally allocates per call
 /// for the canonical-sort copies — it is an audit mode.
+GSTG_HOT_NOALLOC
 void bin_splats_into(std::span<const ProjectedSplat> splats, const CellGrid& grid,
                      Boundary boundary, std::size_t threads, RenderCounters& counters,
                      BinnedSplats& out, BinningScratch& scratch,

@@ -26,7 +26,7 @@ void Framebuffer::resize(int width, int height) {
 
 void Framebuffer::write_ppm(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("Framebuffer: cannot open " + path);
+  if (!out) throw FramebufferError("cannot open " + path);
   out << "P6\n" << width_ << " " << height_ << "\n255\n";
   std::vector<unsigned char> row(static_cast<std::size_t>(width_) * 3);
   for (int y = 0; y < height_; ++y) {
@@ -38,7 +38,7 @@ void Framebuffer::write_ppm(const std::string& path) const {
     }
     out.write(reinterpret_cast<const char*>(row.data()), static_cast<std::streamsize>(row.size()));
   }
-  if (!out) throw std::runtime_error("Framebuffer: write failure for " + path);
+  if (!out) throw FramebufferError("write failure for " + path);
 }
 
 float max_abs_diff(const Framebuffer& a, const Framebuffer& b) {

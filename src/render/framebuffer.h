@@ -2,12 +2,23 @@
 // (used by the lossless-equality tests and the fp16-fidelity experiment).
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "geometry/vec.h"
 
 namespace gstg {
+
+/// Thrown for framebuffer I/O failures (PPM file cannot be opened or
+/// written). Derives from std::runtime_error so existing catch sites keep
+/// working; message is prefixed "Framebuffer: ". Size/shape misuse stays
+/// std::invalid_argument (programmer error, not an I/O condition).
+class FramebufferError : public std::runtime_error {
+ public:
+  explicit FramebufferError(const std::string& message)
+      : std::runtime_error("Framebuffer: " + message) {}
+};
 
 class Framebuffer {
  public:
@@ -31,6 +42,7 @@ class Framebuffer {
   std::vector<Vec3>& pixels() { return pixels_; }
 
   /// Writes an 8-bit binary PPM (P6). Values are clamped to [0,1]; no gamma.
+  /// Throws FramebufferError when the file cannot be opened or written.
   void write_ppm(const std::string& path) const;
 
  private:

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "camera/camera.h"
+#include "common/annotations.h"
 #include "gaussian/cloud.h"
 #include "gaussian/compressed.h"
 #include "render/types.h"
@@ -37,6 +38,7 @@ std::vector<ProjectedSplat> preprocess(const GaussianCloud& cloud, const Camera&
 /// preprocess() into a caller-owned survivor vector, reusing `scratch`.
 /// `out` is cleared first; its capacity (and the scratch buffers) persist
 /// across calls.
+GSTG_HOT_NOALLOC
 void preprocess_into(const GaussianCloud& cloud, const Camera& camera,
                      const RenderConfig& config, RenderCounters& counters,
                      std::vector<ProjectedSplat>& out, PreprocessScratch& scratch);
@@ -61,6 +63,7 @@ inline constexpr std::size_t kDecodeBlock = 512;
 /// SIMD projection kernels over them. Output (splats, order, counters) is
 /// bit-identical to preprocess_into(cloud.decode(), ...) — the
 /// ResidencyMode::kVerify audit in core/renderer.h asserts this per frame.
+GSTG_HOT_NOALLOC
 void preprocess_compressed_into(const CompressedCloud& cloud, const Camera& camera,
                                 const RenderConfig& config, RenderCounters& counters,
                                 std::vector<ProjectedSplat>& out, PreprocessScratch& scratch,

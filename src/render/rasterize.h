@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <span>
 
+#include "common/annotations.h"
 #include "common/simd.h"
 #include "render/binning.h"
 #include "render/framebuffer.h"
@@ -65,6 +66,7 @@ TileRasterStats rasterize_tile(std::span<const ProjectedSplat> splats,
 
 /// rasterize_tile() with caller-owned blending buffers (no allocations once
 /// the scratch has warmed up to the tile size).
+GSTG_HOT_NOALLOC
 TileRasterStats rasterize_tile(std::span<const ProjectedSplat> splats,
                                std::span<const std::uint32_t> order, int x0, int y0, int x1,
                                int y1, Framebuffer& fb, TileRasterScratch& scratch,
@@ -104,6 +106,7 @@ struct SortlessRasterScratch {
 /// is no transmittance early exit (`early_exit_pixels` is always 0 — an
 /// exit would reintroduce order dependence). Footprint evaluation is
 /// axis-shared: the dy-dependent quad terms are hoisted per pixel row.
+GSTG_HOT_NOALLOC
 TileRasterStats rasterize_tile_sortless(std::span<const ProjectedSplat> splats,
                                         std::span<const std::uint32_t> order, int x0, int y0,
                                         int x1, int y1, Framebuffer& fb,

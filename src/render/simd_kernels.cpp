@@ -220,6 +220,9 @@ SimdBackend widest_verified_backend() {
   return widest;
 }
 
+// gstg-lint: boundary(R1): resolution funnels into function-local statics
+// (availability scan, bit-identity probe) computed once per process; every
+// steady-state call returns the cached backend without allocating.
 SimdBackend resolve_simd_backend(SimdBackend requested) {
   if (requested == SimdBackend::kAuto) {
     const SimdBackend env = simd_backend_from_env();

@@ -5,6 +5,7 @@
 
 #include <span>
 
+#include "common/annotations.h"
 #include "render/binning.h"
 #include "render/sort_keys.h"
 #include "render/types.h"
@@ -17,6 +18,7 @@ namespace gstg {
 /// orderings; see render/sort_keys.h). `scratch` reuses one SortScratch
 /// across frames; pass nullptr for a self-contained call. Accumulates
 /// sort_pairs and sort_comparison_volume into `counters`.
+GSTG_HOT_NOALLOC
 void sort_cell_lists(BinnedSplats& bins, std::span<const ProjectedSplat> splats,
                      std::size_t threads, RenderCounters& counters,
                      SortAlgo algo = SortAlgo::kAuto, SortScratch* scratch = nullptr);

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace gstg {
 
 /// Sorting algorithm selection for the per-cell / per-group sorts.
@@ -70,11 +72,13 @@ struct KeyValue {
 /// Stable LSD radix sort of keys[0..n) ascending, 8-bit digits, processing
 /// only the low `key_bits` bits (all higher bits must be zero). `tmp` is
 /// grown as needed and reused across calls; the result is left in `keys`.
+GSTG_HOT_NOALLOC
 void radix_sort_keys(std::vector<std::uint64_t>& keys, std::vector<std::uint64_t>& tmp,
                      std::size_t n, int key_bits);
 
 /// Stable LSD radix sort of items[0..n) by key ascending, permuting the
 /// payloads alongside. Same contract as radix_sort_keys.
+GSTG_HOT_NOALLOC
 void radix_sort_pairs(std::vector<KeyValue>& items, std::vector<KeyValue>& tmp, std::size_t n,
                       int key_bits);
 

@@ -274,7 +274,7 @@ Camera make_camera(const SceneInfo& info, int width, int height, Vec3& focus_out
       return Camera::from_fov(width, height, 1.1f, look_at(eye, target));
     }
   }
-  throw std::logic_error("make_camera: unknown scene kind");
+  throw SceneError("make_camera: unknown scene kind");
 }
 
 }  // namespace

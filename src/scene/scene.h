@@ -8,6 +8,7 @@
 // distributions. See DESIGN.md section 2 for the substitution argument.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,18 @@
 #include "gaussian/cloud.h"
 
 namespace gstg {
+
+/// Thrown for internally inconsistent scene descriptions (e.g. a SceneInfo
+/// whose kind is outside the SceneKind enumeration). Derives from
+/// std::runtime_error per the project error convention (PlyError,
+/// DatasetError, ...); message is prefixed "scene: ". Unknown scene *names*
+/// remain std::invalid_argument — that contract is load-bearing for the
+/// service layer's error mapping.
+class SceneError : public std::runtime_error {
+ public:
+  explicit SceneError(const std::string& message)
+      : std::runtime_error("scene: " + message) {}
+};
 
 /// Scene layout archetype used by the generator.
 enum class SceneKind {

@@ -47,6 +47,7 @@ std::shared_ptr<const GaussianCloud> SceneCache::acquire(const std::string& key)
       // Another thread is loading this key: share its flight. The wait
       // happens outside the lock so one slow load cannot stall other keys.
       const CloudFuture flight = it->second.future;
+      // gstg-lint: allow(R5): intentional early release of the unique_lock — the blocking flight.get() below must not hold the cache mutex
       lock.unlock();
       return flight.get();  // rethrows the loader's exception on failure
     }

@@ -1,0 +1,21 @@
+// Typed error for the telemetry layer's client-causable failures
+// (trace/metrics output files that cannot be opened or written). Follows
+// the project error convention (PlyError, DatasetError, BinningError, ...):
+// derive from std::runtime_error with a layer prefix so existing catch
+// sites keep working while callers can catch the layer's failures
+// specifically. Lint rule R3 (tools/lint/gstg_lint.py) rejects raw
+// std::runtime_error throws in src/.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gstg::telemetry {
+
+class TelemetryError : public std::runtime_error {
+ public:
+  explicit TelemetryError(const std::string& message)
+      : std::runtime_error("telemetry: " + message) {}
+};
+
+}  // namespace gstg::telemetry

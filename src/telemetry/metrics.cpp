@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/error.h"
 #include "telemetry/trace.h"
 
 namespace gstg::telemetry {
@@ -159,7 +160,7 @@ std::string MetricsRegistry::snapshot_json() const {
 void MetricsRegistry::write_json(const std::string& path) const {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
-    throw std::runtime_error("telemetry: cannot open metrics output '" + path + "'");
+    throw TelemetryError("cannot open metrics output '" + path + "'");
   }
   const std::string json = snapshot_json();
   std::fwrite(json.data(), 1, json.size(), file);
@@ -191,7 +192,7 @@ void write_metrics_at_exit() {
 
 bool ensure_metrics_from_env() {
   static const bool registered = [] {
-    const char* path = std::getenv("GSTG_METRICS");
+    const char* path = std::getenv("GSTG_METRICS");  // NOLINT(concurrency-mt-unsafe): read once before worker threads exist
     if (path == nullptr || *path == '\0') return false;
     metrics_env_path() = path;
     std::atexit(write_metrics_at_exit);

@@ -54,8 +54,8 @@ class MetricsRegistry {
   /// non-empty buckets), and gauge series as one JSON object.
   [[nodiscard]] std::string snapshot_json() const;
 
-  /// snapshot_json() to a file; throws std::runtime_error when the file
-  /// cannot be opened.
+  /// snapshot_json() to a file; throws TelemetryError (telemetry/error.h)
+  /// when the file cannot be opened.
   void write_json(const std::string& path) const;
 
   /// Drops all registered metrics (tests; not for concurrent use with

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "telemetry/error.h"
+
 namespace gstg::telemetry {
 
 namespace {
@@ -48,6 +50,7 @@ struct Registry {
 };
 
 Registry& registry() {
+  // gstg-lint: allow(R1): one-time process-global collector, leaked on purpose so rings outlive static destruction order
   static Registry* r = new Registry;
   return *r;
 }
@@ -59,6 +62,7 @@ ThreadRing& local_ring() {
   if (ring == nullptr) {
     Registry& reg = registry();
     const std::lock_guard<std::mutex> lock(reg.mutex);
+    // gstg-lint: allow(R1): a thread's ring is allocated once, on its first span of a session — the documented one-time cost in trace.h
     auto owned = std::make_unique<ThreadRing>();
     owned->tid = reg.rings.size();
     owned->events.resize(reg.ring_capacity);
@@ -189,7 +193,7 @@ TraceStats TraceSession::stats() const {
 std::size_t TraceSession::write(const std::string& path) const {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
-    throw std::runtime_error("telemetry: cannot open trace output '" + path + "'");
+    throw TelemetryError("cannot open trace output '" + path + "'");
   }
 
   // Snapshot every ring under the registry lock. Copying is deliberate: the
@@ -331,7 +335,7 @@ void write_env_trace_at_exit() {
 
 bool ensure_started_from_env() {
   static const bool started = [] {
-    const char* path = std::getenv("GSTG_TRACE");
+    const char* path = std::getenv("GSTG_TRACE");  // NOLINT(concurrency-mt-unsafe): read once before worker threads exist
     if (path == nullptr || *path == '\0') return false;
     TraceOptions options;
     options.path = path;

@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/annotations.h"
+
 namespace gstg::telemetry {
 
 /// What one ring slot records. Spans carry [begin, end) and must nest with
@@ -68,6 +70,7 @@ inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed)
 /// disabled). `name` must have static storage duration. The interval MUST
 /// nest with the thread's other spans (GSTG_SPAN scopes guarantee this);
 /// for intervals that do not, use emit_async_span.
+GSTG_HOT_NOALLOC
 void emit_span(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns);
 
 /// Appends a completed interval that need not nest with the calling
@@ -75,12 +78,15 @@ void emit_span(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns);
 /// stamped at enqueue time on the client thread while this worker was mid
 /// render. Exported as a Chrome async 'b'/'e' pair with a unique id, which
 /// Perfetto draws on its own track.
+GSTG_HOT_NOALLOC
 void emit_async_span(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns);
 
 /// Appends a counter sample (Chrome 'C' event) at now_ns().
+GSTG_HOT_NOALLOC
 void emit_counter(const char* name, double value);
 
 /// Appends an instant marker (Chrome 'i' event) at now_ns().
+GSTG_HOT_NOALLOC
 void emit_instant(const char* name);
 
 /// Names the calling thread in the exported trace (thread_name metadata).
@@ -143,8 +149,8 @@ class TraceSession {
   void stop();
 
   /// Writes the recorded events as Chrome trace-event JSON. Returns the
-  /// number of events written; throws std::runtime_error when the file
-  /// cannot be opened. Spans become matched B/E pairs (properly nested per
+  /// number of events written; throws TelemetryError (telemetry/error.h)
+  /// when the file cannot be opened. Spans become matched B/E pairs (properly nested per
   /// thread), counters 'C' events, instants 'i' events, plus
   /// process_name/thread_name metadata.
   std::size_t write(const std::string& path) const;

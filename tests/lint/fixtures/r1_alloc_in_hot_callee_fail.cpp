@@ -1,0 +1,26 @@
+// gstg-lint fixture: R1 must flag allocation reachable from a
+// GSTG_HOT_NOALLOC root through the call graph. Scanned, never compiled.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+int* grow_table(std::size_t n) {
+  // Reached from the annotated root below: operator new[] must be flagged.
+  return new int[n];
+}
+
+void scatter(std::vector<int>& out) {
+  std::vector<int> staging;  // fresh owning container in a hot callee
+  out.swap(staging);
+}
+
+GSTG_HOT_NOALLOC
+void hot_entry(std::vector<int>& out, std::size_t n) {
+  int* table = grow_table(n);
+  out.assign(table, table + n);
+  scatter(out);
+  delete[] table;
+}
+
+}  // namespace fixture

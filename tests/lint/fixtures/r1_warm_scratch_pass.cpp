@@ -1,0 +1,32 @@
+// gstg-lint fixture: R1 must accept the warmed-scratch idiom — growing a
+// caller-owned buffer in place, allocations confined to throw statements,
+// and a justified allow() for a deliberate one-time allocation.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+class CapacityError : public std::runtime_error {
+ public:
+  explicit CapacityError(const std::string& message)
+      : std::runtime_error("fixture: " + message) {}
+};
+
+int* leaked_sentinel() {
+  // gstg-lint: allow(R1): one-time process-global sentinel, allocated once and leaked on purpose
+  static int* sentinel = new int(0);
+  return sentinel;
+}
+
+GSTG_HOT_NOALLOC
+void hot_warm(std::vector<float>& scratch, std::size_t n) {
+  if (n > (std::size_t{1} << 30)) {
+    throw CapacityError("request too large: " + std::to_string(n));
+  }
+  scratch.resize(n);  // warmed scratch: steady-state no-op once grown
+  for (std::size_t i = 0; i < n; ++i) scratch[i] = 0.0f;
+  leaked_sentinel();
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// gstg-lint fixture: R2 must accept casts that clamp inside the expression,
+// the shared clamped helpers, integer-only casts, and casts whose float
+// arguments sit inside a nested call (the cast sees the call's return type).
+#include <algorithm>
+#include <cstdint>
+
+namespace fixture {
+
+std::uint32_t depth_bits(float depth);
+
+int quantize(float v) {
+  return static_cast<int>(std::clamp(v * 4.0f, 0.0f, 63.0f));
+}
+
+int via_helper(float v) {
+  return clamped_float_to_int(v, 0, 255);
+}
+
+std::uint64_t pack(float depth, std::uint32_t index) {
+  return (static_cast<std::uint64_t>(depth_bits(depth)) << 32) | index;
+}
+
+int narrow(long wide) {
+  return static_cast<int>(wide);  // integer source: out of R2's scope
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// gstg-lint fixture: R2 must flag a float->int static_cast whose expression
+// is not clamped — the exact footprint-to-cell bug class the rule guards.
+
+namespace fixture {
+
+int cell_of(float x, float inv_cell) {
+  return static_cast<int>(x * inv_cell);  // unclamped: UB on huge/NaN x
+}
+
+}  // namespace fixture

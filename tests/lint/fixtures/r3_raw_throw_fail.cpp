@@ -1,0 +1,13 @@
+// gstg-lint fixture: R3 must flag raw std::runtime_error / std::logic_error
+// throws — failures must carry a layer-typed error class.
+#include <stdexcept>
+#include <string>
+
+namespace fixture {
+
+void parse(const std::string& text) {
+  if (text.empty()) throw std::runtime_error("empty input");
+  if (text.size() > 4096) throw std::logic_error("input too large");
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// gstg-lint fixture: R3 must accept the project pattern — a typed error
+// DERIVED from std::runtime_error — and the std::invalid_argument family
+// for caller-misuse contracts.
+#include <stdexcept>
+#include <string>
+
+namespace fixture {
+
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& message)
+      : std::runtime_error("parse: " + message) {}
+};
+
+void parse(const std::string& text, int limit) {
+  if (limit <= 0) throw std::invalid_argument("limit must be positive");
+  if (text.empty()) throw ParseError("empty input");
+}
+
+}  // namespace fixture

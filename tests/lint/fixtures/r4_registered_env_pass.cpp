@@ -1,0 +1,9 @@
+// gstg-lint fixture: R4 must accept a GSTG_* literal that is registered in
+// kGstgEnvVars AND documented in docs/CONFIG.md.
+#include <cstdlib>
+
+namespace fixture {
+
+const char* thread_override() { return std::getenv("GSTG_THREADS"); }
+
+}  // namespace fixture

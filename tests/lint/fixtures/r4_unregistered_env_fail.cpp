@@ -1,0 +1,11 @@
+// gstg-lint fixture: R4 must flag a GSTG_* environment variable literal
+// that is not registered in kGstgEnvVars (common/runconfig.h).
+#include <cstdlib>
+
+namespace fixture {
+
+bool shadow_feature_enabled() {
+  return std::getenv("GSTG_FIXTURE_UNREGISTERED") != nullptr;
+}
+
+}  // namespace fixture

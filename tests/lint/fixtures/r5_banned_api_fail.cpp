@@ -1,0 +1,18 @@
+// gstg-lint fixture: R5 must flag naked lock()/unlock(), rand(), and
+// std::function in hot scope (fixture mode applies the union of scopes).
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mutex;
+
+int unsafe_sample(const std::function<int()>& pick) {
+  g_mutex.lock();
+  const int value = pick() + rand();
+  g_mutex.unlock();
+  return value;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// gstg-lint fixture: R5 must accept RAII lock guards and template callables
+// (no std::function type erasure, no libc rand).
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mutex;
+
+template <typename Pick>
+int safe_sample(const Pick& pick) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  return pick();
+}
+
+}  // namespace fixture

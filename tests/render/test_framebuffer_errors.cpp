@@ -1,0 +1,38 @@
+// The typed-error contract of framebuffer I/O (lint rule R3): PPM write
+// failures throw FramebufferError — derived from std::runtime_error with
+// the "Framebuffer: " prefix — never a raw std::runtime_error. Size/shape
+// misuse stays std::invalid_argument.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "render/framebuffer.h"
+
+namespace gstg {
+namespace {
+
+TEST(FramebufferErrors, WriteToUnopenablePathThrowsTyped) {
+  const Framebuffer fb(4, 4);
+  const std::string path = "/nonexistent_gstg_dir/out.ppm";
+  EXPECT_THROW(fb.write_ppm(path), FramebufferError);
+}
+
+TEST(FramebufferErrors, DerivesFromRuntimeErrorWithPrefix) {
+  const Framebuffer fb(4, 4);
+  try {
+    fb.write_ppm("/nonexistent_gstg_dir/out.ppm");
+    FAIL() << "expected FramebufferError";
+  } catch (const std::runtime_error& e) {
+    // Catchable as runtime_error (existing catch sites keep working) and
+    // identifiable by the layer prefix.
+    EXPECT_EQ(std::string(e.what()).rfind("Framebuffer: ", 0), 0u) << e.what();
+  }
+}
+
+TEST(FramebufferErrors, ShapeMisuseStaysInvalidArgument) {
+  EXPECT_THROW(Framebuffer(-1, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gstg

@@ -123,6 +123,27 @@ TEST(OrbitCameras, CountAndDistinctPoses) {
   EXPECT_THROW(orbit_cameras(scene, 0), std::invalid_argument);
 }
 
+// The typed-error contract (lint rule R3): operational failures throw the
+// layer's error class, caller misuse stays std::invalid_argument. Both are
+// load-bearing — the service maps unknown scene *names* to a client-facing
+// rejection via invalid_argument, while SceneError marks corrupted state.
+TEST(SceneErrors, UnknownSceneKindThrowsTypedError) {
+  SceneInfo info = scene_info("train");
+  info.kind = static_cast<SceneKind>(99);
+  EXPECT_THROW(generate_scene(info, tiny_scale()), SceneError);
+  try {
+    generate_scene(info, tiny_scale());
+    FAIL() << "expected SceneError";
+  } catch (const std::runtime_error& e) {
+    // Derives from runtime_error with the layer prefix.
+    EXPECT_EQ(std::string(e.what()).rfind("scene: ", 0), 0u) << e.what();
+  }
+}
+
+TEST(SceneErrors, UnknownSceneNameStaysInvalidArgument) {
+  EXPECT_THROW(scene_info("atlantis"), std::invalid_argument);
+}
+
 TEST(OrbitCameras, FirstFrameNearEvaluationCamera) {
   const Scene scene = generate_scene("train", tiny_scale());
   const auto cams = orbit_cameras(scene, 4);

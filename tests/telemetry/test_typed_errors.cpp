@@ -1,0 +1,39 @@
+// The typed-error contract of the telemetry layer (lint rule R3): trace and
+// metrics export failures throw TelemetryError (telemetry/error.h) — derived
+// from std::runtime_error with the "telemetry: " prefix — never a raw
+// std::runtime_error.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "telemetry/error.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace gstg::telemetry {
+namespace {
+
+TEST(TelemetryErrors, TraceWriteToUnopenablePathThrowsTyped) {
+  EXPECT_THROW(TraceSession::global().write("/nonexistent_gstg_dir/trace.json"),
+               TelemetryError);
+}
+
+TEST(TelemetryErrors, MetricsWriteToUnopenablePathThrowsTyped) {
+  EXPECT_THROW(MetricsRegistry::global().write_json("/nonexistent_gstg_dir/metrics.json"),
+               TelemetryError);
+}
+
+TEST(TelemetryErrors, DerivesFromRuntimeErrorWithPrefix) {
+  try {
+    TraceSession::global().write("/nonexistent_gstg_dir/trace.json");
+    FAIL() << "expected TelemetryError";
+  } catch (const std::runtime_error& e) {
+    // Catchable as runtime_error (the bench/CLI catch sites keep working)
+    // and identifiable by the layer prefix.
+    EXPECT_EQ(std::string(e.what()).rfind("telemetry: ", 0), 0u) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace gstg::telemetry
